@@ -1,0 +1,164 @@
+package pdp_test
+
+// One benchmark per reproduced paper artifact (tables and figures), each
+// running a scaled-down version of the corresponding experiment harness,
+// plus micro-benchmarks of the hot paths. Regenerate the full-size tables
+// with `go run ./cmd/repro all`.
+
+import (
+	"io"
+	"testing"
+
+	"pdp"
+	"pdp/internal/experiments"
+	"pdp/internal/workload"
+)
+
+// benchConfig returns an experiment configuration small enough for
+// testing.B iteration yet large enough to exercise every phase.
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		Accesses:            80_000,
+		MCAccessesPerThread: 25_000,
+		Mixes4:              2,
+		Mixes16:             1,
+		Seed:                42,
+		Out:                 io.Discard,
+	}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := benchConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig01RDD(b *testing.B)           { benchExperiment(b, "fig1") }
+func BenchmarkFig02DRRIPEpsilon(b *testing.B)  { benchExperiment(b, "fig2") }
+func BenchmarkFig04StaticPDP(b *testing.B)     { benchExperiment(b, "fig4") }
+func BenchmarkFig05aOccupancy(b *testing.B)    { benchExperiment(b, "fig5a") }
+func BenchmarkFig05bXalancRDDs(b *testing.B)   { benchExperiment(b, "fig5b") }
+func BenchmarkFig06HitRateModel(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFig09Params(b *testing.B)        { benchExperiment(b, "fig9") }
+func BenchmarkFig10SingleCore(b *testing.B)    { benchExperiment(b, "fig10") }
+func BenchmarkFig11Phases(b *testing.B)        { benchExperiment(b, "fig11") }
+func BenchmarkFig12Partitioning(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkTab2PDDistribution(b *testing.B) { benchExperiment(b, "tab2") }
+func BenchmarkSec62Overhead(b *testing.B)      { benchExperiment(b, "overhead") }
+func BenchmarkSec63McfInsertion(b *testing.B)  { benchExperiment(b, "sec63") }
+func BenchmarkSec65Prefetch(b *testing.B)      { benchExperiment(b, "sec65") }
+func BenchmarkPDProc(b *testing.B)             { benchExperiment(b, "pdproc") }
+
+// --- micro-benchmarks of the simulation hot paths ---
+
+func benchPolicyAccess(b *testing.B, pol pdp.Policy, bypass bool) {
+	b.Helper()
+	const sets, ways = 2048, 16
+	c := pdp.NewCache(pdp.CacheConfig{
+		Name: "LLC", Sets: sets, Ways: ways, LineSize: pdp.LineSize, AllowBypass: bypass,
+	}, pol)
+	bench, _ := workload.ByName("436.cactusADM")
+	g := bench.Generator(sets, 1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(g.Next())
+	}
+}
+
+func BenchmarkAccessLRU(b *testing.B) {
+	benchPolicyAccess(b, pdp.NewLRU(2048, 16), false)
+}
+
+func BenchmarkAccessDIP(b *testing.B) {
+	benchPolicyAccess(b, pdp.NewDIP(2048, 16, 1.0/32, 1), false)
+}
+
+func BenchmarkAccessDRRIP(b *testing.B) {
+	benchPolicyAccess(b, pdp.NewDRRIP(2048, 16, 1.0/32, 1), false)
+}
+
+func BenchmarkAccessSDP(b *testing.B) {
+	benchPolicyAccess(b, pdp.NewSDP(pdp.SDPConfig{Sets: 2048, Ways: 16, AllowBypass: true}), true)
+}
+
+func BenchmarkAccessEELRU(b *testing.B) {
+	benchPolicyAccess(b, pdp.NewEELRU(pdp.EELRUConfig{Sets: 2048, Ways: 16}), false)
+}
+
+func BenchmarkAccessPDP8(b *testing.B) {
+	benchPolicyAccess(b, pdp.NewPDP(pdp.PDPConfig{Sets: 2048, Ways: 16, Bypass: true}), true)
+}
+
+func BenchmarkAccessPDPPart4(b *testing.B) {
+	benchPolicyAccess(b, pdp.NewPDPPart(pdp.PDPPartConfig{Sets: 2048, Ways: 16, Threads: 4}), true)
+}
+
+func BenchmarkRDSampler(b *testing.B) {
+	s := pdp.NewRDSampler(pdp.RealSamplerConfig(2048, 4))
+	bench, _ := workload.ByName("436.cactusADM")
+	g := bench.Generator(2048, 1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := g.Next()
+		s.Access(int(a.Addr/pdp.LineSize%2048), a.Addr)
+	}
+}
+
+func BenchmarkFindPDSoftware(b *testing.B) {
+	arr := pdp.NewCounterArray(256, 4)
+	for d := 1; d <= 256; d++ {
+		for i := 0; i < d%7+1; i++ {
+			arr.RecordHit(d)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		arr.RecordAccess()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pdp.FindPD(arr, 16)
+	}
+}
+
+func BenchmarkFindPDHardwareModel(b *testing.B) {
+	arr := pdp.NewCounterArray(256, 4)
+	for d := 1; d <= 256; d++ {
+		for i := 0; i < d%7+1; i++ {
+			arr.RecordHit(d)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		arr.RecordAccess()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pdp.PDProcCompute(arr, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceRDDGen(b *testing.B) {
+	g := pdp.NewRDDGen("bench", pdp.RDDSpec{
+		Peaks: []pdp.Peak{{Dist: 40, Weight: 0.4}, {Dist: 120, Weight: 0.2}},
+		Fresh: 0.3, Far: 0.1,
+	}, 2048, 1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

@@ -1,0 +1,87 @@
+// Command mcpart runs one multi-programmed mix on a shared LLC under a
+// thread-aware policy and reports the paper's W/T/H metrics against the
+// stand-alone LRU baseline.
+//
+// Usage:
+//
+//	mcpart -cores 4 -policy pdppart-3 -benchmarks 436.cactusADM,403.gcc,470.lbm,482.sphinx3
+//	mcpart -cores 16 -policy ta-drrip -mix 7
+//
+// Policies: ta-drrip, ucp, pipp, pdppart-2, pdppart-3, pdppart-8.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pdp/internal/experiments"
+	"pdp/internal/metrics"
+	"pdp/internal/workload"
+)
+
+func main() {
+	cores := flag.Int("cores", 4, "number of cores (LLC = 2MB per core)")
+	policy := flag.String("policy", "pdppart-3", "shared-LLC policy")
+	benchList := flag.String("benchmarks", "", "comma-separated benchmark names (one per core)")
+	mixID := flag.Int("mix", -1, "use the i-th seeded random mix instead of -benchmarks")
+	perThread := flag.Int("n", 400_000, "measured accesses per thread")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+
+	var mix workload.Mix
+	switch {
+	case *benchList != "":
+		names := strings.Split(*benchList, ",")
+		if len(names) != *cores {
+			fmt.Fprintf(os.Stderr, "need %d benchmarks, got %d\n", *cores, len(names))
+			os.Exit(2)
+		}
+		mix = workload.Mix{Names: names}
+		for _, n := range names {
+			b, ok := workload.ByName(strings.TrimSpace(n))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", n)
+				os.Exit(2)
+			}
+			mix.Benchs = append(mix.Benchs, b)
+		}
+	case *mixID >= 0:
+		mixes := workload.Mixes(*cores, *mixID+1, *seed+uint64(*cores))
+		mix = mixes[*mixID]
+	default:
+		fmt.Fprintln(os.Stderr, "provide -benchmarks or -mix")
+		os.Exit(2)
+	}
+
+	spec, err := experiments.MCSpecByName(*policy, *perThread)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	res := experiments.RunMix(mix, spec, *perThread, *seed)
+	single := make([]float64, len(mix.Benchs))
+	for t, b := range mix.Benchs {
+		single[t] = experiments.SingleIPC(b, *cores, *perThread, *seed)
+	}
+
+	fmt.Printf("policy %s, %d cores, LLC %d MB shared\n", spec.Name, *cores, 2**cores)
+	for t, b := range mix.Benchs {
+		fmt.Printf("  core %2d  %-20s IPC %.4f  (alone: %.4f)\n", t, b.Name, res.IPC[t], single[t])
+	}
+	w, err := metrics.WeightedIPC(res.IPC, single)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	h, err := metrics.HarmonicMeanNorm(res.IPC, single)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("weighted IPC (W) %.4f\n", w)
+	fmt.Printf("throughput   (T) %.4f\n", metrics.Throughput(res.IPC))
+	fmt.Printf("fairness     (H) %.4f\n", h)
+}

@@ -1,0 +1,84 @@
+// Command pdpsim runs one benchmark model through one LLC policy and
+// prints the resulting statistics.
+//
+// Usage:
+//
+//	pdpsim -bench 436.cactusADM -policy pdp-8 -n 1000000
+//	pdpsim -trace cactus.pdpt -policy drrip
+//	pdpsim -list
+//
+// Policies: lru, dip, drrip, drrip:1/64, eelru, sdp, pdp-2, pdp-3, pdp-8,
+// spdp-b:<pd>, spdp-nb:<pd>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pdp/internal/experiments"
+	"pdp/internal/tracefile"
+	"pdp/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "436.cactusADM", "benchmark model name")
+	traceFile := flag.String("trace", "", "replay a recorded .pdpt trace instead of a model")
+	apki := flag.Float64("apki", 10, "accesses per kiloinstruction for -trace runs")
+	policy := flag.String("policy", "pdp-8", "LLC policy")
+	n := flag.Int("n", 1_000_000, "measured LLC accesses")
+	seed := flag.Uint64("seed", 42, "random seed")
+	list := flag.Bool("list", false, "list benchmark models and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("suite:")
+		for _, b := range workload.All() {
+			fmt.Printf("  %-20s APKI=%.0f\n", b.Name, b.APKI)
+		}
+		fmt.Println("phase-changing:")
+		for _, b := range workload.Phased() {
+			fmt.Printf("  %-20s APKI=%.0f\n", b.Name, b.APKI)
+		}
+		return
+	}
+
+	var b workload.Benchmark
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		accs, err := tracefile.ReadAll(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reading %s: %v\n", *traceFile, err)
+			os.Exit(1)
+		}
+		b = workload.FromAccesses(*traceFile, *apki, accs)
+	} else {
+		var ok bool
+		b, ok = workload.ByName(*bench)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q; run `pdpsim -list`\n", *bench)
+			os.Exit(2)
+		}
+	}
+	spec, err := experiments.SpecByName(*policy, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	r := experiments.RunSingle(b, spec, *n, *seed)
+	fmt.Printf("benchmark   %s\n", r.Bench)
+	fmt.Printf("policy      %s\n", r.Policy)
+	fmt.Printf("accesses    %d (after %d warm-up)\n", r.Stats.Accesses, experiments.Warmup(*n))
+	fmt.Printf("hits        %d (%.2f%%)\n", r.Stats.Hits, 100*r.Stats.HitRate())
+	fmt.Printf("misses      %d\n", r.Stats.Misses)
+	fmt.Printf("bypasses    %d (%.2f%% of accesses)\n", r.Stats.Bypasses, 100*r.BypassFrac())
+	fmt.Printf("evictions   %d (writebacks %d)\n", r.Stats.Evictions, r.Stats.Writebacks)
+	fmt.Printf("instructions %d\n", r.Instr)
+	fmt.Printf("IPC         %.4f\n", r.IPC)
+	fmt.Printf("MPKI        %.3f\n", r.MPKI)
+}

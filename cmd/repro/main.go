@@ -1,0 +1,79 @@
+// Command repro regenerates the PDP paper's tables and figures.
+//
+// Usage:
+//
+//	repro -list
+//	repro [flags] all
+//	repro [flags] fig10 fig12 tab2 ...
+//
+// Each experiment prints a plain-text table; see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+// comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pdp/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	scale := flag.Float64("scale", 1.0, "trace-length multiplier (1.0 = default windows)")
+	mixes4 := flag.Int("mixes4", 0, "override the number of 4-core mixes (fig12)")
+	mixes16 := flag.Int("mixes16", 0, "override the number of 16-core mixes (fig12)")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.DefaultConfig(os.Stdout)
+	cfg.Seed = *seed
+	cfg.Accesses = int(float64(cfg.Accesses) * *scale)
+	cfg.MCAccessesPerThread = int(float64(cfg.MCAccessesPerThread) * *scale)
+	if *mixes4 > 0 {
+		cfg.Mixes4 = *mixes4
+	}
+	if *mixes16 > 0 {
+		cfg.Mixes16 = *mixes16
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: repro [-list] [-scale f] all | <id>...")
+		fmt.Fprintln(os.Stderr, "run `repro -list` for experiment ids")
+		os.Exit(2)
+	}
+
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		if err := e.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stdout, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if len(args) == 1 && args[0] == "all" {
+		for _, e := range experiments.Registry() {
+			run(e)
+		}
+		return
+	}
+	for _, id := range args {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; run `repro -list`\n", id)
+			os.Exit(2)
+		}
+		run(e)
+	}
+}

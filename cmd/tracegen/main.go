@@ -1,0 +1,62 @@
+// Command tracegen exports a synthetic benchmark model as a binary trace
+// file (the tracefile format), so the workloads can feed external tools —
+// or be archived and replayed bit-identically with `pdpsim -trace`.
+//
+// Usage:
+//
+//	tracegen -bench 436.cactusADM -n 1000000 -o cactus.pdpt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pdp/internal/tracefile"
+	"pdp/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "436.cactusADM", "benchmark model name (see pdpsim -list)")
+	n := flag.Int("n", 1_000_000, "number of accesses")
+	out := flag.String("o", "", "output file (default <bench>.pdpt)")
+	sets := flag.Int("sets", 2048, "target LLC sets the model is built for")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+
+	b, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	path := *out
+	if path == "" {
+		path = b.Name + ".pdpt"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	w, err := tracefile.NewWriter(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	g := b.Generator(*sets, 1, *seed)
+	for i := 0; i < *n; i++ {
+		if err := w.Write(g.Next()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	info, _ := f.Stat()
+	fmt.Printf("wrote %d accesses to %s (%d bytes, %.2f bytes/access)\n",
+		w.Count(), path, info.Size(), float64(info.Size())/float64(w.Count()))
+}

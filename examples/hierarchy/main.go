@@ -1,0 +1,73 @@
+// Full-hierarchy demo: a three-level cache hierarchy in the paper's
+// Table 1 configuration (32KB L1, 256KB L2, 2MB LLC), with LRU at the
+// upper levels and a choice of LLC policy. Demand fills allocate at every
+// level; dirty evictions write back downward. The example drives a
+// workload with L1-friendly locality layered over an LLC-scale working
+// set, and shows where accesses are satisfied.
+//
+// Run: go run ./examples/hierarchy
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"pdp"
+)
+
+func buildHierarchy(llcPolicy pdp.Policy, bypass bool) *pdp.Hierarchy {
+	l1 := pdp.NewCache(pdp.CacheConfig{
+		Name: "L1", Sets: 64, Ways: 8, LineSize: pdp.LineSize, // 32KB
+	}, pdp.NewLRU(64, 8))
+	l2 := pdp.NewCache(pdp.CacheConfig{
+		Name: "L2", Sets: 512, Ways: 8, LineSize: pdp.LineSize, // 256KB
+	}, pdp.NewLRU(512, 8))
+	llc := pdp.NewCache(pdp.CacheConfig{
+		Name: "LLC", Sets: 2048, Ways: 16, LineSize: pdp.LineSize, // 2MB
+		AllowBypass: bypass,
+	}, llcPolicy)
+	return pdp.NewHierarchy(l1, l2, llc)
+}
+
+// workload: tight spatial bursts (L1 hits) over a large drifting working
+// set (LLC-scale reuse) plus streaming traffic.
+func workload(seed uint64) pdp.Generator {
+	hot := pdp.NewLoopGen("hot", 96, 1, seed)              // fits L1
+	ws := pdp.NewDriftLoopGen("ws", 40*2048, 0.1, 2, seed) // ~2.5MB: LLC-scale
+	stream := pdp.NewStreamGen("stream", 3)                // never reused
+	return pdp.NewMixGen("app", seed, []pdp.Generator{hot, ws, stream},
+		[]float64{0.45, 0.35, 0.20})
+}
+
+func main() {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "LLC policy\tL1 hits\tL2 hits\tLLC hits\tmemory\tLLC hit rate")
+	const n = 3_000_000
+	for _, cfg := range []struct {
+		name   string
+		pol    pdp.Policy
+		bypass bool
+	}{
+		{"LRU", pdp.NewLRU(2048, 16), false},
+		{"DRRIP", pdp.NewDRRIP(2048, 16, 1.0/32, 1), false},
+		{"PDP-8", pdp.NewPDP(pdp.PDPConfig{Sets: 2048, Ways: 16, Bypass: true, RecomputeEvery: 256_000}), true},
+	} {
+		h := buildHierarchy(cfg.pol, cfg.bypass)
+		g := workload(9)
+		for i := 0; i < n; i++ {
+			h.Access(g.Next())
+		}
+		llc := h.Level(2)
+		fmt.Fprintf(tw, "%s\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.2f%%\n",
+			cfg.name,
+			100*float64(h.DemandHits[0])/n,
+			100*float64(h.DemandHits[1])/n,
+			100*float64(h.DemandHits[2])/n,
+			100*float64(h.MemAccesses)/n,
+			100*llc.Stats.HitRate())
+	}
+	tw.Flush()
+	fmt.Println("\nThe L1 absorbs the hot bursts identically for every LLC policy;")
+	fmt.Println("the LLC policy decides how much of the big working set survives.")
+}

@@ -1,0 +1,3 @@
+module pdp
+
+go 1.22

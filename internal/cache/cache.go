@@ -1,0 +1,305 @@
+// Package cache implements a trace-driven set-associative cache with a
+// pluggable replacement/bypass policy, plus a multi-level hierarchy. It is
+// the simulation substrate on which all policies of the PDP paper run
+// (stand-in for the authors' CMP$im-modelled memory hierarchy).
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pdp/internal/trace"
+)
+
+// Policy decides replacement (and optionally bypass) for one cache.
+//
+// For every access to a set the cache invokes exactly one of:
+//   - Hit (the access hit way);
+//   - Victim followed by Insert (miss filled after evicting the victim);
+//   - Insert alone (miss filled into an invalid way);
+//   - Victim returning bypass=true (miss not allocated; only legal when the
+//     cache was built with AllowBypass).
+//
+// PostAccess then always runs once, after the above — policies that must
+// update per-set state on *every* access (e.g. PDP's RPD decrement, which
+// the paper applies after setting the inserted/promoted line's RPD) do it
+// there.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Hit notifies a hit on (set, way).
+	Hit(set, way int, acc trace.Access)
+	// Victim selects a way to evict for acc, or bypass=true to skip
+	// allocation. It is only called when every way in the set is valid.
+	Victim(set int, acc trace.Access) (way int, bypass bool)
+	// Insert notifies that acc's line has been placed in (set, way).
+	Insert(set, way int, acc trace.Access)
+	// Evict notifies that the line in (set, way) is being removed.
+	Evict(set, way int)
+	// PostAccess runs once per access to set, after hit/insert/bypass
+	// handling.
+	PostAccess(set int, acc trace.Access)
+}
+
+// NopPolicy provides no-op implementations of the optional Policy hooks;
+// embed it to implement only what a policy needs.
+type NopPolicy struct{}
+
+// Hit implements Policy.
+func (NopPolicy) Hit(int, int, trace.Access) {}
+
+// Insert implements Policy.
+func (NopPolicy) Insert(int, int, trace.Access) {}
+
+// Evict implements Policy.
+func (NopPolicy) Evict(int, int) {}
+
+// PostAccess implements Policy.
+func (NopPolicy) PostAccess(int, trace.Access) {}
+
+// Config describes one cache level.
+type Config struct {
+	// Name labels the cache in reports ("L1", "LLC", ...).
+	Name string
+	// Sets and Ways give the organization; Sets must be a power of two.
+	Sets, Ways int
+	// LineSize in bytes; must be a power of two (64 throughout the paper).
+	LineSize int
+	// AllowBypass permits the policy to skip allocation on a miss
+	// (non-inclusive cache, paper Sec. 2.2).
+	AllowBypass bool
+}
+
+// EventKind distinguishes Monitor callbacks.
+type EventKind uint8
+
+// Monitor event kinds.
+const (
+	EvHit EventKind = iota
+	EvInsert
+	EvEvict
+	EvBypass
+)
+
+// Event is delivered to an attached Monitor for every state change; the
+// occupancy analysis of paper Fig. 5a is built on these.
+type Event struct {
+	Kind EventKind
+	Set  int
+	Way  int
+	// Addr is the line-aligned address concerned (victim address for EvEvict).
+	Addr uint64
+	// SetAccesses is the number of accesses to Set so far, including this
+	// one — the time unit of the paper's reuse distances and occupancies.
+	SetAccesses uint64
+	Acc         trace.Access
+}
+
+// Monitor observes cache events.
+type Monitor interface {
+	Event(Event)
+}
+
+// Stats aggregates cache activity counters.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64 // includes bypasses
+	Bypasses   uint64
+	Inserts    uint64
+	Evictions  uint64
+	Writebacks uint64 // dirty evictions
+	WriteAccs  uint64
+}
+
+// HitRate returns hits/accesses (0 when idle).
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Result reports what one access did.
+type Result struct {
+	Hit        bool
+	Bypass     bool
+	Evicted    bool
+	Writeback  bool
+	Set, Way   int
+	VictimAddr uint64
+}
+
+// Cache is a set-associative cache with an attached policy.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	tags      []uint64
+	valid     []bool
+	dirty     []bool
+	setAccs   []uint64
+	pol       Policy
+	mon       Monitor
+
+	// Stats accumulates counters; callers may read it directly.
+	Stats Stats
+}
+
+// New builds a cache. It panics on invalid configuration, which is a
+// programming error, not a runtime condition.
+func New(cfg Config, pol Policy) *Cache {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: Sets=%d must be a positive power of two", cfg.Name, cfg.Sets))
+	}
+	if cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache %s: Ways=%d must be positive", cfg.Name, cfg.Ways))
+	}
+	if cfg.LineSize <= 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic(fmt.Sprintf("cache %s: LineSize=%d must be a positive power of two", cfg.Name, cfg.LineSize))
+	}
+	if pol == nil {
+		panic(fmt.Sprintf("cache %s: nil policy", cfg.Name))
+	}
+	n := cfg.Sets * cfg.Ways
+	return &Cache{
+		cfg:       cfg,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineSize))),
+		setMask:   uint64(cfg.Sets - 1),
+		tags:      make([]uint64, n),
+		valid:     make([]bool, n),
+		dirty:     make([]bool, n),
+		setAccs:   make([]uint64, cfg.Sets),
+		pol:       pol,
+	}
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.cfg.Sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.cfg.Ways }
+
+// Policy returns the attached policy.
+func (c *Cache) Policy() Policy { return c.pol }
+
+// SetMonitor attaches m (nil detaches).
+func (c *Cache) SetMonitor(m Monitor) { c.mon = m }
+
+// SetOf returns the set index of addr.
+func (c *Cache) SetOf(addr uint64) int {
+	return int((addr >> c.lineShift) & c.setMask)
+}
+
+// TagOf returns the tag of addr.
+func (c *Cache) TagOf(addr uint64) uint64 {
+	return (addr >> c.lineShift) / uint64(c.cfg.Sets)
+}
+
+// SetAccesses returns the number of accesses seen by set so far.
+func (c *Cache) SetAccesses(set int) uint64 { return c.setAccs[set] }
+
+// Valid reports whether (set, way) holds a line.
+func (c *Cache) Valid(set, way int) bool { return c.valid[set*c.cfg.Ways+way] }
+
+// LineAddr reconstructs the line-aligned address stored in (set, way).
+func (c *Cache) LineAddr(set, way int) uint64 {
+	tag := c.tags[set*c.cfg.Ways+way]
+	return (tag*uint64(c.cfg.Sets) + uint64(set)) << c.lineShift
+}
+
+// Contains reports whether addr's line is resident (no state change).
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.SetOf(addr), c.TagOf(addr)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access runs one reference through the cache.
+func (c *Cache) Access(acc trace.Access) Result {
+	set, tag := c.SetOf(acc.Addr), c.TagOf(acc.Addr)
+	base := set * c.cfg.Ways
+	c.Stats.Accesses++
+	if acc.Write {
+		c.Stats.WriteAccs++
+	}
+	c.setAccs[set]++
+
+	// Hit path.
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			c.Stats.Hits++
+			if acc.Write {
+				c.dirty[base+w] = true
+			}
+			c.pol.Hit(set, w, acc)
+			c.emit(Event{Kind: EvHit, Set: set, Way: w, Addr: c.LineAddr(set, w), SetAccesses: c.setAccs[set], Acc: acc})
+			c.pol.PostAccess(set, acc)
+			return Result{Hit: true, Set: set, Way: w}
+		}
+	}
+
+	// Miss path.
+	c.Stats.Misses++
+	res := Result{Set: set}
+
+	way := -1
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !c.valid[base+w] {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		v, bypass := c.pol.Victim(set, acc)
+		if bypass {
+			if !c.cfg.AllowBypass {
+				panic(fmt.Sprintf("cache %s: policy %s bypassed but AllowBypass is false", c.cfg.Name, c.pol.Name()))
+			}
+			c.Stats.Bypasses++
+			res.Bypass = true
+			c.emit(Event{Kind: EvBypass, Set: set, Addr: acc.Addr &^ uint64(c.cfg.LineSize-1), SetAccesses: c.setAccs[set], Acc: acc})
+			c.pol.PostAccess(set, acc)
+			return res
+		}
+		if v < 0 || v >= c.cfg.Ways {
+			panic(fmt.Sprintf("cache %s: policy %s chose invalid victim way %d", c.cfg.Name, c.pol.Name(), v))
+		}
+		way = v
+		res.Evicted = true
+		res.VictimAddr = c.LineAddr(set, way)
+		res.Writeback = c.dirty[base+way]
+		if res.Writeback {
+			c.Stats.Writebacks++
+		}
+		c.Stats.Evictions++
+		// Emit before notifying the policy so monitors can observe the
+		// victim's pre-eviction policy state (e.g. PDP's RPD).
+		c.emit(Event{Kind: EvEvict, Set: set, Way: way, Addr: res.VictimAddr, SetAccesses: c.setAccs[set], Acc: acc})
+		c.pol.Evict(set, way)
+	}
+
+	c.tags[base+way] = tag
+	c.valid[base+way] = true
+	c.dirty[base+way] = acc.Write
+	c.Stats.Inserts++
+	res.Way = way
+	c.pol.Insert(set, way, acc)
+	c.emit(Event{Kind: EvInsert, Set: set, Way: way, Addr: acc.Addr &^ uint64(c.cfg.LineSize-1), SetAccesses: c.setAccs[set], Acc: acc})
+	c.pol.PostAccess(set, acc)
+	return res
+}
+
+func (c *Cache) emit(ev Event) {
+	if c.mon != nil {
+		c.mon.Event(ev)
+	}
+}

@@ -1,0 +1,92 @@
+package cache
+
+import "pdp/internal/trace"
+
+// LRU is the least-recently-used replacement policy. It also provides the
+// primitives (Touch, Demote) on which insertion-policy variants such as BIP
+// and LIP are built.
+type LRU struct {
+	NopPolicy
+	ways int
+	ts   []int64 // timestamp per (set*ways+way); larger = more recent
+	hi   int64   // clock for MRU insertions/promotions
+	lo   int64   // decreasing clock for LRU-position insertions
+}
+
+// NewLRU builds an LRU policy for a sets x ways cache.
+func NewLRU(sets, ways int) *LRU {
+	return &LRU{ways: ways, ts: make([]int64, sets*ways), lo: -1}
+}
+
+// Name implements Policy.
+func (p *LRU) Name() string { return "LRU" }
+
+// Touch moves (set, way) to the MRU position.
+func (p *LRU) Touch(set, way int) {
+	p.hi++
+	p.ts[set*p.ways+way] = p.hi
+}
+
+// Demote moves (set, way) to the LRU position (next victim).
+func (p *LRU) Demote(set, way int) {
+	p.ts[set*p.ways+way] = p.lo
+	p.lo--
+}
+
+// StackOrder returns the ways of set ordered from MRU to LRU (testing and
+// monitor support; stack positions are the time unit of stack-distance
+// based policies).
+func (p *LRU) StackOrder(set int) []int {
+	order := make([]int, p.ways)
+	for i := range order {
+		order[i] = i
+	}
+	base := set * p.ways
+	// Insertion sort by descending timestamp; associativity is small.
+	for i := 1; i < p.ways; i++ {
+		j := i
+		for j > 0 && p.ts[base+order[j-1]] < p.ts[base+order[j]] {
+			order[j-1], order[j] = order[j], order[j-1]
+			j--
+		}
+	}
+	return order
+}
+
+// Hit implements Policy.
+func (p *LRU) Hit(set, way int, _ trace.Access) { p.Touch(set, way) }
+
+// Victim implements Policy.
+func (p *LRU) Victim(set int, _ trace.Access) (int, bool) {
+	base := set * p.ways
+	best, bestTS := 0, p.ts[base]
+	for w := 1; w < p.ways; w++ {
+		if p.ts[base+w] < bestTS {
+			best, bestTS = w, p.ts[base+w]
+		}
+	}
+	return best, false
+}
+
+// Insert implements Policy.
+func (p *LRU) Insert(set, way int, _ trace.Access) { p.Touch(set, way) }
+
+// Random picks victims uniformly at random; a sanity baseline.
+type Random struct {
+	NopPolicy
+	ways int
+	rng  *trace.RNG
+}
+
+// NewRandom builds a random-replacement policy.
+func NewRandom(ways int, seed uint64) *Random {
+	return &Random{ways: ways, rng: trace.NewRNG(seed)}
+}
+
+// Name implements Policy.
+func (p *Random) Name() string { return "Random" }
+
+// Victim implements Policy.
+func (p *Random) Victim(int, trace.Access) (int, bool) {
+	return p.rng.Intn(p.ways), false
+}

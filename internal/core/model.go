@@ -1,0 +1,110 @@
+// Package core implements the PDP paper's primary contribution: the
+// reuse-distance-based hit-rate model E(d_p) (Sec. 2.4), the protecting
+// distance search, and the Protecting Distance based replacement/bypass
+// Policy (Sec. 2.2) with the hardware parameters of Sec. 3 (n_c-bit RPDs
+// stepped by S_d, S_c-compressed counter arrays, periodic recomputation).
+package core
+
+import (
+	"sort"
+
+	"pdp/internal/sampler"
+)
+
+// EValues evaluates the hit-rate approximation E(d_p) of paper Eq. (1) at
+// every counter-array boundary d_p = Dist(k). de is the eviction-delay term
+// d_e (the paper sets it to the associativity W).
+//
+//	E(d_p) = sum_{i<=d_p} N_i /
+//	         ( sum_{i<=d_p} N_i*i  +  (N_t - sum_{i<=d_p} N_i)*(d_p+d_e) )
+//
+// E is proportional to the hit rate (the 1/W factor is dropped, as in the
+// paper, to remove the dependence on cache organization).
+func EValues(arr *sampler.CounterArray, de int) []float64 {
+	k := arr.K()
+	out := make([]float64, k)
+	var sumN, sumNd uint64
+	nt := arr.Total()
+	for i := 0; i < k; i++ {
+		n := uint64(arr.Count(i))
+		d := uint64(arr.Dist(i))
+		sumN += n
+		sumNd += n * d
+		long := uint64(0)
+		if nt > sumN {
+			long = nt - sumN
+		}
+		den := sumNd + long*(d+uint64(de))
+		if den > 0 {
+			out[i] = float64(sumN) / float64(den)
+		}
+	}
+	return out
+}
+
+// FindPD returns the protecting distance maximizing E, together with the
+// maximal E value. It returns (0, 0) when the array holds no reuse
+// information (the caller should then keep its previous PD).
+func FindPD(arr *sampler.CounterArray, de int) (pd int, e float64) {
+	ev := EValues(arr, de)
+	best, bestK := 0.0, -1
+	for k, v := range ev {
+		if v > best {
+			best, bestK = v, k
+		}
+	}
+	if bestK < 0 || best == 0 {
+		return 0, 0
+	}
+	return arr.Dist(bestK), best
+}
+
+// Peak is a local maximum of E: a candidate protecting distance for the
+// multi-core heuristic (paper Sec. 4 considers the top peaks per thread).
+type Peak struct {
+	PD int
+	E  float64
+}
+
+// Peaks returns up to topN local maxima of E, ordered by decreasing E. The
+// global maximum is always first.
+func Peaks(arr *sampler.CounterArray, de, topN int) []Peak {
+	ev := EValues(arr, de)
+	var peaks []Peak
+	for k, v := range ev {
+		if v == 0 {
+			continue
+		}
+		left := k == 0 || ev[k-1] < v
+		right := k == len(ev)-1 || ev[k+1] <= v
+		if left && right {
+			peaks = append(peaks, Peak{PD: arr.Dist(k), E: v})
+		}
+	}
+	sort.Slice(peaks, func(i, j int) bool {
+		if peaks[i].E != peaks[j].E {
+			return peaks[i].E > peaks[j].E
+		}
+		return peaks[i].PD < peaks[j].PD
+	})
+	if len(peaks) > topN {
+		peaks = peaks[:topN]
+	}
+	return peaks
+}
+
+// PDSolver finds the E-maximizing protecting distance for a counter array.
+// The default software solver is SoftwareSolver; internal/pdproc provides a
+// cycle-accurate model of the paper's special-purpose processor.
+type PDSolver interface {
+	FindPD(arr *sampler.CounterArray, de int) int
+}
+
+// SoftwareSolver is the direct floating-point implementation of FindPD.
+type SoftwareSolver struct{}
+
+// FindPD implements PDSolver.
+func (SoftwareSolver) FindPD(arr *sampler.CounterArray, de int) int {
+	pd, _ := FindPD(arr, de)
+	return pd
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pdp/internal/sampler"
+)
+
+func TestEValuesHandComputed(t *testing.T) {
+	arr := sampler.NewCounterArray(8, 1)
+	// 10 hits at RD 3, N_t = 20, d_e = 4.
+	for i := 0; i < 10; i++ {
+		arr.RecordHit(3)
+	}
+	for i := 0; i < 20; i++ {
+		arr.RecordAccess()
+	}
+	ev := EValues(arr, 4)
+	// E(2): no hits yet -> 0.
+	if ev[1] != 0 {
+		t.Errorf("E(2) = %v, want 0", ev[1])
+	}
+	// E(3) = 10 / (10*3 + 10*(3+4)) = 0.1
+	if math.Abs(ev[2]-0.1) > 1e-12 {
+		t.Errorf("E(3) = %v, want 0.1", ev[2])
+	}
+	// E(8) = 10 / (30 + 10*12) = 1/15
+	if math.Abs(ev[7]-1.0/15) > 1e-12 {
+		t.Errorf("E(8) = %v, want 1/15", ev[7])
+	}
+	pd, e := FindPD(arr, 4)
+	if pd != 3 || math.Abs(e-0.1) > 1e-12 {
+		t.Errorf("FindPD = (%d, %v), want (3, 0.1)", pd, e)
+	}
+}
+
+func TestEValuesMatchClosedForm(t *testing.T) {
+	// Property: EValues agrees with an independent per-point recomputation
+	// for random counter arrays (incremental-search correctness).
+	f := func(seed int64) bool {
+		arr := sampler.NewCounterArray(64, 4)
+		s := uint64(seed)
+		next := func() uint64 { s = s*6364136223846793005 + 1442695040888963407; return s >> 33 }
+		var totalHits uint64
+		for k := 0; k < arr.K(); k++ {
+			n := next() % 100
+			for i := uint64(0); i < n; i++ {
+				arr.RecordHit(k*4 + 1)
+			}
+			totalHits += n
+		}
+		for i := uint64(0); i < totalHits+next()%500; i++ {
+			arr.RecordAccess()
+		}
+		ev := EValues(arr, 16)
+		for k := 0; k < arr.K(); k++ {
+			var sumN, sumNd float64
+			for j := 0; j <= k; j++ {
+				sumN += float64(arr.Count(j))
+				sumNd += float64(arr.Count(j)) * float64(arr.Dist(j))
+			}
+			long := float64(arr.Total()) - sumN
+			den := sumNd + long*float64(arr.Dist(k)+16)
+			want := 0.0
+			if den > 0 {
+				want = sumN / den
+			}
+			if math.Abs(ev[k]-want) > 1e-9*(want+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindPDEmptyArray(t *testing.T) {
+	arr := sampler.NewCounterArray(32, 1)
+	if pd, e := FindPD(arr, 8); pd != 0 || e != 0 {
+		t.Fatalf("FindPD on empty array = (%d, %v), want (0, 0)", pd, e)
+	}
+	// Accesses but no hits: still no usable PD.
+	for i := 0; i < 100; i++ {
+		arr.RecordAccess()
+	}
+	if pd, _ := FindPD(arr, 8); pd != 0 {
+		t.Fatalf("FindPD with zero hits = %d, want 0", pd)
+	}
+}
+
+func TestFindPDPrefersCoveringThePeak(t *testing.T) {
+	arr := sampler.NewCounterArray(256, 4)
+	// Strong peak at RD ~64, plus a sea of long lines.
+	for i := 0; i < 5000; i++ {
+		arr.RecordHit(64)
+	}
+	for i := 0; i < 8000; i++ {
+		arr.RecordAccess()
+	}
+	pd, _ := FindPD(arr, 16)
+	if pd != 64 {
+		t.Fatalf("FindPD = %d, want 64 (covering the peak)", pd)
+	}
+}
+
+func TestFindPDAvoidsPollution(t *testing.T) {
+	// Few reuses at a long distance, many fresh lines: protecting to the
+	// long distance must lose to a short PD once the reuse mass there is
+	// tiny (pollution, paper Sec. 2.1).
+	arr := sampler.NewCounterArray(256, 4)
+	for i := 0; i < 1000; i++ {
+		arr.RecordHit(8)
+	}
+	for i := 0; i < 30; i++ {
+		arr.RecordHit(200)
+	}
+	for i := 0; i < 20000; i++ {
+		arr.RecordAccess()
+	}
+	pd, _ := FindPD(arr, 16)
+	if pd != 8 {
+		t.Fatalf("FindPD = %d, want 8 (not 200: protecting 200 pollutes)", pd)
+	}
+}
+
+func TestPeaksBimodal(t *testing.T) {
+	arr := sampler.NewCounterArray(256, 4)
+	for i := 0; i < 4000; i++ {
+		arr.RecordHit(32)
+	}
+	for i := 0; i < 3000; i++ {
+		arr.RecordHit(128)
+	}
+	for i := 0; i < 9000; i++ {
+		arr.RecordAccess()
+	}
+	peaks := Peaks(arr, 16, 3)
+	if len(peaks) < 2 {
+		t.Fatalf("got %d peaks, want >= 2: %+v", len(peaks), peaks)
+	}
+	// Global max first and it matches FindPD.
+	pd, e := FindPD(arr, 16)
+	if peaks[0].PD != pd || math.Abs(peaks[0].E-e) > 1e-12 {
+		t.Fatalf("Peaks[0] = %+v, FindPD = (%d, %v)", peaks[0], pd, e)
+	}
+	found32, found128 := false, false
+	for _, p := range peaks {
+		if p.PD == 32 {
+			found32 = true
+		}
+		if p.PD == 128 {
+			found128 = true
+		}
+	}
+	if !found32 || !found128 {
+		t.Fatalf("peaks %+v missing one of the two modes (32, 128)", peaks)
+	}
+}
+
+func TestPeaksTopNLimit(t *testing.T) {
+	arr := sampler.NewCounterArray(256, 4)
+	for _, d := range []int{16, 48, 96, 160, 224} {
+		for i := 0; i < 1000; i++ {
+			arr.RecordHit(d)
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		arr.RecordAccess()
+	}
+	if got := len(Peaks(arr, 16, 3)); got > 3 {
+		t.Fatalf("Peaks returned %d entries, want <= 3", got)
+	}
+}

@@ -1,0 +1,182 @@
+// Package counter implements the counter-based replacement and bypassing
+// algorithm of Kharbutli & Solihin (IEEE TC 2008), the paper's reference
+// [19]: each line carries an event counter of set accesses since its last
+// touch; a PC-indexed prediction table learns each access interval, and a
+// line expires — becomes the preferred victim — once its counter exceeds
+// the learned interval plus slack. The PDP paper positions this as implicit
+// protection ("protects lines by not evicting them until they expire")
+// learned per line class rather than computed from an explicit hit-rate
+// model.
+package counter
+
+import (
+	"pdp/internal/cache"
+	"pdp/internal/trace"
+)
+
+// Config parameterizes the AIP-style policy.
+type Config struct {
+	Sets, Ways int
+	// TableSize is the number of prediction entries (PC-indexed).
+	TableSize int
+	// MaxCounter saturates the per-line event counters.
+	MaxCounter uint16
+	// Slack is added to the learned interval before a line expires.
+	Slack uint16
+	// AllowBypass bypasses fills whose PC's learned interval is zero with
+	// high confidence (dead-on-arrival).
+	AllowBypass bool
+}
+
+func (c *Config) setDefaults() {
+	if c.TableSize == 0 {
+		c.TableSize = 4096
+	}
+	if c.MaxCounter == 0 {
+		c.MaxCounter = 1023
+	}
+	if c.Slack == 0 {
+		c.Slack = 8
+	}
+}
+
+type predEntry struct {
+	interval  uint16
+	confident bool
+}
+
+// AIP is the access-interval-predicting policy. It implements cache.Policy.
+type AIP struct {
+	cfg Config
+	lru *cache.LRU
+
+	events   []uint16 // set accesses since the line's last touch
+	maxIvl   []uint16 // largest interval observed this generation
+	sig      []uint16 // PC signature of the line's filling access
+	table    []predEntry
+	hadReuse []bool
+}
+
+var _ cache.Policy = (*AIP)(nil)
+
+// New builds the policy.
+func New(cfg Config) *AIP {
+	cfg.setDefaults()
+	n := cfg.Sets * cfg.Ways
+	return &AIP{
+		cfg:      cfg,
+		lru:      cache.NewLRU(cfg.Sets, cfg.Ways),
+		events:   make([]uint16, n),
+		maxIvl:   make([]uint16, n),
+		sig:      make([]uint16, n),
+		table:    make([]predEntry, cfg.TableSize),
+		hadReuse: make([]bool, n),
+	}
+}
+
+// Name implements cache.Policy.
+func (p *AIP) Name() string { return "AIP" }
+
+func (p *AIP) sigOf(pc uint64) uint16 {
+	x := pc ^ pc>>12 ^ pc>>24 ^ pc>>36
+	return uint16(x) & uint16(p.cfg.TableSize-1)
+}
+
+// threshold returns the expiry threshold for a line, or MaxCounter when the
+// signature has no confident prediction yet.
+func (p *AIP) threshold(sig uint16) uint16 {
+	e := p.table[sig]
+	if !e.confident {
+		return p.cfg.MaxCounter
+	}
+	t := e.interval + p.cfg.Slack
+	if t > p.cfg.MaxCounter {
+		t = p.cfg.MaxCounter
+	}
+	return t
+}
+
+// Expired reports whether the line in (set, way) has outlived its learned
+// access interval (testing).
+func (p *AIP) Expired(set, way int) bool {
+	i := set*p.cfg.Ways + way
+	return p.events[i] > p.threshold(p.sig[i])
+}
+
+// Hit implements cache.Policy.
+func (p *AIP) Hit(set, way int, acc trace.Access) {
+	p.lru.Hit(set, way, acc)
+	i := set*p.cfg.Ways + way
+	if p.events[i] > p.maxIvl[i] {
+		p.maxIvl[i] = p.events[i]
+	}
+	p.events[i] = 0
+	p.hadReuse[i] = true
+}
+
+// Victim implements cache.Policy: an expired line if any, else LRU. With
+// bypassing enabled, fills whose signature confidently never reuses skip
+// allocation.
+func (p *AIP) Victim(set int, acc trace.Access) (int, bool) {
+	if p.cfg.AllowBypass && !acc.WB {
+		e := p.table[p.sigOf(acc.PC)]
+		if e.confident && e.interval == 0 {
+			return 0, true
+		}
+	}
+	base := set * p.cfg.Ways
+	best, bestOver := -1, uint16(0)
+	for w := 0; w < p.cfg.Ways; w++ {
+		i := base + w
+		if th := p.threshold(p.sig[i]); p.events[i] > th {
+			if over := p.events[i] - th; best < 0 || over > bestOver {
+				best, bestOver = w, over
+			}
+		}
+	}
+	if best >= 0 {
+		return best, false
+	}
+	return p.lru.Victim(set, acc)
+}
+
+// Insert implements cache.Policy.
+func (p *AIP) Insert(set, way int, acc trace.Access) {
+	p.lru.Insert(set, way, acc)
+	i := set*p.cfg.Ways + way
+	p.events[i] = 0
+	p.maxIvl[i] = 0
+	p.sig[i] = p.sigOf(acc.PC)
+	p.hadReuse[i] = false
+}
+
+// Evict implements cache.Policy: learn the line's observed access interval
+// for its signature.
+func (p *AIP) Evict(set, way int) {
+	i := set*p.cfg.Ways + way
+	e := &p.table[p.sig[i]]
+	observed := p.maxIvl[i] // 0 when the line was never reused
+	if !p.hadReuse[i] {
+		observed = 0
+	}
+	if !e.confident {
+		e.interval = observed
+		e.confident = true
+	} else if observed > e.interval {
+		e.interval = observed // grow immediately
+	} else {
+		// Shrink slowly toward the observed interval.
+		e.interval = (e.interval + observed + 1) / 2
+	}
+	p.lru.Evict(set, way)
+}
+
+// PostAccess implements cache.Policy: age every line in the set.
+func (p *AIP) PostAccess(set int, _ trace.Access) {
+	base := set * p.cfg.Ways
+	for w := 0; w < p.cfg.Ways; w++ {
+		if p.events[base+w] < p.cfg.MaxCounter {
+			p.events[base+w]++
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package cpu
+
+// EnergyModel estimates LLC dynamic energy from access counts. The paper
+// motivates bypass partly through power: "Bypassing a cache reduces its
+// active power dissipation ... by not writing the data into the LLC"
+// (Sec. 6.2). Default per-event energies are representative 32nm SRAM
+// numbers (nanojoules); only ratios matter for the comparisons.
+type EnergyModel struct {
+	// ReadNJ is the energy of one LLC read (tag + data access).
+	ReadNJ float64
+	// WriteNJ is the energy of one LLC line fill or write.
+	WriteNJ float64
+	// TagNJ is the energy of a tag-only probe (a miss that bypasses still
+	// checks the tags).
+	TagNJ float64
+	// MemNJ is the energy of one memory access (misses and bypasses).
+	MemNJ float64
+}
+
+// DefaultEnergy returns a representative 2MB-LLC model.
+func DefaultEnergy() EnergyModel {
+	return EnergyModel{ReadNJ: 0.6, WriteNJ: 0.9, TagNJ: 0.1, MemNJ: 15}
+}
+
+// EnergyBreakdown reports where the nanojoules went.
+type EnergyBreakdown struct {
+	ReadNJ  float64
+	WriteNJ float64
+	TagNJ   float64
+	MemNJ   float64
+}
+
+// Total returns the summed energy in nanojoules.
+func (b EnergyBreakdown) Total() float64 {
+	return b.ReadNJ + b.WriteNJ + b.TagNJ + b.MemNJ
+}
+
+// Estimate computes LLC + memory dynamic energy for a run: hits read the
+// array, fills (inserts) write it, bypassed misses pay only the tag probe,
+// and every miss (filled or bypassed) pays the memory access.
+func (m EnergyModel) Estimate(hits, inserts, bypasses, misses uint64) EnergyBreakdown {
+	return EnergyBreakdown{
+		ReadNJ:  float64(hits) * m.ReadNJ,
+		WriteNJ: float64(inserts) * m.WriteNJ,
+		TagNJ:   float64(hits+inserts+bypasses) * m.TagNJ,
+		MemNJ:   float64(misses) * m.MemNJ,
+	}
+}

@@ -1,0 +1,163 @@
+// Package cpusim implements a first-order out-of-order core timing model
+// (interval simulation): instructions retire at the issue width, memory
+// operations dispatch when they enter the reorder-buffer window, overlap
+// within the MSHR budget, and stall retirement only when their latency is
+// not hidden. It refines the blocking analytic model in internal/cpu with
+// memory-level parallelism, moving the substrate closer to the paper's
+// CMP$im-modelled 8-deep 4-wide core (Table 1) while remaining
+// deterministic and fast.
+package cpusim
+
+import "fmt"
+
+// Config parameterizes the core.
+type Config struct {
+	// Width is the issue/retire width (paper: 4).
+	Width int
+	// ROB is the reorder-buffer size in instructions (paper: 128-entry
+	// instruction window).
+	ROB int
+	// MSHRs bounds outstanding memory requests.
+	MSHRs int
+	// LLCHitCycles and MemCycles are the latencies seen past the L2.
+	LLCHitCycles, MemCycles int
+}
+
+// Default returns the paper-flavored configuration.
+func Default() Config {
+	return Config{Width: 4, ROB: 128, MSHRs: 16, LLCHitCycles: 30, MemCycles: 200}
+}
+
+func (c *Config) validate() error {
+	if c.Width <= 0 || c.ROB <= 0 || c.MSHRs <= 0 {
+		return fmt.Errorf("cpusim: invalid config %+v", *c)
+	}
+	return nil
+}
+
+// Core simulates one hardware thread. Feed it alternating compute gaps and
+// memory operations via Advance/Memory, then read Cycles.
+type Core struct {
+	cfg Config
+
+	// instr counts instructions dispatched so far (program order).
+	instr uint64
+	// stall accumulates retirement stall cycles beyond the width-limited
+	// baseline; total cycles = instr/width + stall.
+	stall float64
+
+	// dispatchPos[i] / complete[i]: ring of the last ROB-window memory ops'
+	// positions and completion times, for the ROB dispatch constraint.
+	robRing  []opRecord
+	robHead  int
+	robCount int
+
+	// mshrFree is a ring of MSHR availability times.
+	mshrFree []float64
+	mshrPos  int
+}
+
+type opRecord struct {
+	pos      uint64
+	complete float64
+}
+
+// New builds a core.
+func New(cfg Config) (*Core, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Core{
+		cfg:      cfg,
+		robRing:  make([]opRecord, 64),
+		mshrFree: make([]float64, cfg.MSHRs),
+	}, nil
+}
+
+// retireTime returns the earliest cycle instruction `pos` can retire,
+// ignoring memory stalls after this point.
+func (c *Core) retireTime(pos uint64) float64 {
+	return float64(pos)/float64(c.cfg.Width) + c.stall
+}
+
+// Advance accounts for n non-memory instructions.
+func (c *Core) Advance(n uint64) {
+	c.instr += n
+}
+
+// Memory accounts for one memory instruction that is satisfied past the L2
+// with the given latency (use 0 for upper-level hits whose latency is
+// hidden, LLCHitCycles for LLC hits, MemCycles for misses).
+func (c *Core) Memory(latency int) {
+	pos := c.instr
+	c.instr++
+
+	// Dispatch: the op enters the window once instruction pos-ROB retires,
+	// and cannot complete before older in-flight ops' ROB pressure allows.
+	dispatch := 0.0
+	if pos >= uint64(c.cfg.ROB) {
+		dispatch = c.retireTime(pos - uint64(c.cfg.ROB))
+	}
+	// Ops more than ROB instructions older no longer constrain us; pop them.
+	for c.robCount > 0 {
+		rec := c.robRing[c.robHead]
+		if rec.pos+uint64(c.cfg.ROB) > pos {
+			break
+		}
+		// The window could not contain both: we dispatch after it completes.
+		if rec.complete > dispatch {
+			dispatch = rec.complete
+		}
+		c.robHead = (c.robHead + 1) % len(c.robRing)
+		c.robCount--
+	}
+
+	if latency <= 0 {
+		return
+	}
+
+	// MSHR: wait for a free miss register.
+	issue := dispatch
+	if free := c.mshrFree[c.mshrPos]; free > issue {
+		issue = free
+	}
+	complete := issue + float64(latency)
+	c.mshrFree[c.mshrPos] = complete
+	c.mshrPos = (c.mshrPos + 1) % c.cfg.MSHRs
+
+	// Retirement: if the op completes after its program-order retire slot,
+	// the pipeline stalls for the difference (latency not hidden).
+	slot := c.retireTime(pos)
+	if complete > slot {
+		c.stall += complete - slot
+	}
+
+	// Record for the ROB constraint on much-younger ops.
+	if c.robCount == len(c.robRing) {
+		// Grow (rare; bounded by MSHRs in practice).
+		bigger := make([]opRecord, 2*len(c.robRing))
+		for i := 0; i < c.robCount; i++ {
+			bigger[i] = c.robRing[(c.robHead+i)%len(c.robRing)]
+		}
+		c.robRing, c.robHead = bigger, 0
+	}
+	c.robRing[(c.robHead+c.robCount)%len(c.robRing)] = opRecord{pos: pos, complete: complete}
+	c.robCount++
+}
+
+// Instructions returns the instructions accounted so far.
+func (c *Core) Instructions() uint64 { return c.instr }
+
+// Cycles returns the simulated execution time.
+func (c *Core) Cycles() float64 {
+	return float64(c.instr)/float64(c.cfg.Width) + c.stall
+}
+
+// IPC returns instructions per cycle.
+func (c *Core) IPC() float64 {
+	cy := c.Cycles()
+	if cy == 0 {
+		return 0
+	}
+	return float64(c.instr) / cy
+}

@@ -1,0 +1,152 @@
+package cpusim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, cfg Config) *Core {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{Width: 0, ROB: 1, MSHRs: 1}); err == nil {
+		t.Fatal("zero width must error")
+	}
+}
+
+func TestComputeOnly(t *testing.T) {
+	c := mustNew(t, Default())
+	c.Advance(4000)
+	if got := c.Cycles(); got != 1000 {
+		t.Fatalf("cycles = %v, want width-limited 1000", got)
+	}
+	if ipc := c.IPC(); ipc != 4 {
+		t.Fatalf("IPC = %v, want 4", ipc)
+	}
+}
+
+func TestSingleMissStalls(t *testing.T) {
+	cfg := Default()
+	c := mustNew(t, cfg)
+	c.Memory(cfg.MemCycles) // at position 0: dispatch 0, complete 200
+	c.Advance(3999)
+	// Retire slot of the op was 0, so the full 200 cycles stall.
+	want := 1000.0 + 200
+	if got := c.Cycles(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("cycles = %v, want %v", got, want)
+	}
+}
+
+func TestBackToBackMissesOverlap(t *testing.T) {
+	// Two independent misses inside the same ROB window overlap almost
+	// fully: total stall ~ one memory latency, not two (MLP).
+	cfg := Default()
+	c := mustNew(t, cfg)
+	c.Memory(cfg.MemCycles)
+	c.Memory(cfg.MemCycles)
+	c.Advance(3998)
+	got := c.Cycles()
+	oneMiss := 1000.0 + float64(cfg.MemCycles)
+	if got > oneMiss+2 {
+		t.Fatalf("cycles = %v: overlapping misses must cost ~one latency (%v)", got, oneMiss)
+	}
+}
+
+func TestMSHRSerializes(t *testing.T) {
+	// With a single MSHR, two misses serialize: ~two full latencies.
+	cfg := Default()
+	cfg.MSHRs = 1
+	c := mustNew(t, cfg)
+	c.Memory(cfg.MemCycles)
+	c.Memory(cfg.MemCycles)
+	c.Advance(3998)
+	want := 1000.0 + 2*float64(cfg.MemCycles) - 0.25 // second op's slot is 1/width later
+	if math.Abs(c.Cycles()-want) > 1 {
+		t.Fatalf("cycles = %v, want ~%v (serialized)", c.Cycles(), want)
+	}
+}
+
+func TestROBWindowLimitsOverlap(t *testing.T) {
+	// Two misses further apart than the ROB cannot overlap: the second
+	// dispatches only after the window has moved past the first.
+	cfg := Default()
+	c := mustNew(t, cfg)
+	c.Memory(cfg.MemCycles)
+	c.Advance(uint64(cfg.ROB) + 10) // push the second miss out of the window
+	c.Memory(cfg.MemCycles)
+	c.Advance(4000)
+	got := c.Cycles()
+	base := float64(c.Instructions()) / float64(cfg.Width)
+	stall := got - base
+	if stall < 2*float64(cfg.MemCycles)-float64(cfg.ROB)/float64(cfg.Width)-5 {
+		t.Fatalf("stall = %v: ROB-separated misses must not fully overlap", stall)
+	}
+}
+
+func TestHitsCheaperThanMisses(t *testing.T) {
+	cfg := Default()
+	hit := mustNew(t, cfg)
+	miss := mustNew(t, cfg)
+	for i := 0; i < 100; i++ {
+		hit.Memory(cfg.LLCHitCycles)
+		hit.Advance(300)
+		miss.Memory(cfg.MemCycles)
+		miss.Advance(300)
+	}
+	if hit.Cycles() >= miss.Cycles() {
+		t.Fatalf("hits (%v cycles) must be cheaper than misses (%v)", hit.Cycles(), miss.Cycles())
+	}
+}
+
+func TestMonotoneInMissCount(t *testing.T) {
+	// Property: replacing a hit with a miss never reduces cycles.
+	cfg := Default()
+	f := func(pattern []bool) bool {
+		if len(pattern) == 0 || len(pattern) > 200 {
+			return true
+		}
+		run := func(misses int) float64 {
+			c, _ := New(cfg)
+			for i, isMem := range pattern {
+				if isMem {
+					lat := cfg.LLCHitCycles
+					if i < misses {
+						lat = cfg.MemCycles
+					}
+					c.Memory(lat)
+				} else {
+					c.Advance(10)
+				}
+			}
+			return c.Cycles()
+		}
+		return run(len(pattern)) >= run(0)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMLPBetweenBlockingAndFree(t *testing.T) {
+	// A burst of B misses costs between one latency (perfect overlap) and
+	// B latencies (blocking).
+	cfg := Default()
+	const burst = 8
+	c := mustNew(t, cfg)
+	for i := 0; i < burst; i++ {
+		c.Memory(cfg.MemCycles)
+	}
+	c.Advance(4000 - burst)
+	base := 4000.0 / float64(cfg.Width)
+	stall := c.Cycles() - base
+	if stall < float64(cfg.MemCycles)-1 || stall > float64(burst*cfg.MemCycles)+1 {
+		t.Fatalf("stall %v outside [1, %d] memory latencies", stall, burst)
+	}
+}

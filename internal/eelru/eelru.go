@@ -1,0 +1,231 @@
+// Package eelru implements the Early Eviction LRU policy of Smaragdakis,
+// Kaplan and Wilson (SIGMETRICS 1999), adapted to set-associative caches as
+// in the PDP paper's evaluation (Sec. 5): each set is augmented with a
+// recency queue of ghost tags so hits can be attributed to stack positions
+// beyond the associativity, global counter arrays accumulate hits per
+// position, and the early/late eviction points (e, l) are chosen
+// aggressively over a candidate grid to maximize the expected hit count.
+package eelru
+
+import (
+	"pdp/internal/cache"
+	"pdp/internal/trace"
+)
+
+// Config parameterizes EELRU.
+type Config struct {
+	Sets, Ways int
+	// LMax is the deepest tracked stack position (the paper caps the late
+	// eviction point at d_max = 256 for comparability with PDP).
+	LMax int
+	// Interval is the number of accesses between (e, l) re-selections.
+	Interval uint64
+}
+
+// EELRU implements cache.Policy.
+type EELRU struct {
+	cfg Config
+
+	// stack[s] lists line addresses of set s in recency order (MRU first),
+	// residents and ghosts interleaved, capped at LMax.
+	stack [][]uint64
+	// wayAddr mirrors the cache content so stack entries can be mapped back
+	// to ways.
+	wayAddr [][]uint64
+	wayOK   [][]bool
+
+	// hist[p] counts hits at 1-based stack position p (<= LMax).
+	hist []uint64
+
+	// Current mode: early-eviction point e (0 = plain LRU) and late point l.
+	e, l int
+
+	accs uint64
+
+	// candidates
+	es, ls []int
+}
+
+var _ cache.Policy = (*EELRU)(nil)
+
+// New builds an EELRU policy.
+func New(cfg Config) *EELRU {
+	if cfg.LMax == 0 {
+		cfg.LMax = 256
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 64 * 1024
+	}
+	p := &EELRU{
+		cfg:     cfg,
+		stack:   make([][]uint64, cfg.Sets),
+		wayAddr: make([][]uint64, cfg.Sets),
+		wayOK:   make([][]bool, cfg.Sets),
+		hist:    make([]uint64, cfg.LMax+1),
+	}
+	for s := range p.stack {
+		p.wayAddr[s] = make([]uint64, cfg.Ways)
+		p.wayOK[s] = make([]bool, cfg.Ways)
+	}
+	w := cfg.Ways
+	// Aggressive candidate grid (paper: parameters "chosen aggressively").
+	p.es = []int{w / 4, w / 2, 3 * w / 4}
+	for _, l := range []int{2 * w, 4 * w, 8 * w, cfg.LMax} {
+		if l > w && l <= cfg.LMax {
+			p.ls = append(p.ls, l)
+		}
+	}
+	return p
+}
+
+// Name implements cache.Policy.
+func (p *EELRU) Name() string { return "EELRU" }
+
+// Mode returns the current (e, l); e == 0 means plain LRU.
+func (p *EELRU) Mode() (e, l int) { return p.e, p.l }
+
+// touch records an access to addr in set s and returns its 1-based stack
+// position (0 if not present).
+func (p *EELRU) touch(s int, addr uint64) int {
+	st := p.stack[s]
+	pos := 0
+	for i, a := range st {
+		if a == addr {
+			pos = i + 1
+			copy(st[1:i+1], st[:i])
+			st[0] = addr
+			p.stack[s] = st
+			return pos
+		}
+	}
+	// Not present: push front, cap at LMax.
+	if len(st) < p.cfg.LMax {
+		st = append(st, 0)
+	}
+	copy(st[1:], st)
+	st[0] = addr
+	p.stack[s] = st
+	return 0
+}
+
+// Hit implements cache.Policy.
+func (p *EELRU) Hit(set, way int, acc trace.Access) {
+	if pos := p.touch(set, acc.Addr); pos > 0 && pos <= p.cfg.LMax {
+		p.hist[pos]++
+	}
+}
+
+// Victim implements cache.Policy: plain LRU eviction, or — in early
+// eviction mode — eviction of the e-th most recent resident so that older
+// lines survive to be reused at distances up to l.
+func (p *EELRU) Victim(set int, _ trace.Access) (int, bool) {
+	target := p.cfg.Ways // LRU: the last (least recent) resident
+	if p.e > 0 {
+		target = p.e
+	}
+	// Walk the recency stack counting residents.
+	count := 0
+	var victim uint64
+	found := false
+	for _, a := range p.stack[set] {
+		if w := p.wayOf(set, a); w >= 0 {
+			count++
+			if count == target {
+				victim = a
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		// Fewer residents traced than expected (ghost-stack truncation):
+		// fall back to the least recent resident found, else way 0.
+		last := -1
+		for _, a := range p.stack[set] {
+			if w := p.wayOf(set, a); w >= 0 {
+				last = w
+			}
+		}
+		if last >= 0 {
+			return last, false
+		}
+		return 0, false
+	}
+	return p.wayOf(set, victim), false
+}
+
+func (p *EELRU) wayOf(set int, addr uint64) int {
+	for w := 0; w < p.cfg.Ways; w++ {
+		if p.wayOK[set][w] && p.wayAddr[set][w] == addr {
+			return w
+		}
+	}
+	return -1
+}
+
+// Insert implements cache.Policy.
+func (p *EELRU) Insert(set, way int, acc trace.Access) {
+	lineAddr := acc.Addr &^ 63
+	p.wayAddr[set][way] = lineAddr
+	p.wayOK[set][way] = true
+	if pos := p.touch(set, lineAddr); pos > 0 && pos <= p.cfg.LMax {
+		// A miss that hits in the ghost region: a would-be hit at a deeper
+		// stack position; exactly the signal EELRU uses.
+		p.hist[pos]++
+	}
+}
+
+// Evict implements cache.Policy. The evicted line remains in the recency
+// stack as a ghost.
+func (p *EELRU) Evict(set, way int) {
+	p.wayOK[set][way] = false
+}
+
+// PostAccess implements cache.Policy.
+func (p *EELRU) PostAccess(set int, acc trace.Access) {
+	p.accs++
+	if p.accs%p.cfg.Interval == 0 {
+		p.selectMode()
+	}
+}
+
+// selectMode picks (e, l) maximizing the EELRU hit model, or plain LRU.
+// With early point e and late point l, recently-used pages (positions <= e)
+// always hit; pages in (e, l] survive with probability (W-e)/(l-e) (the
+// fraction of residence slots left for the late region).
+func (p *EELRU) selectMode() {
+	w := p.cfg.Ways
+	var prefix []uint64
+	prefix = make([]uint64, p.cfg.LMax+1)
+	for i := 1; i <= p.cfg.LMax; i++ {
+		prefix[i] = prefix[i-1] + p.hist[i]
+	}
+	bestHits := prefix[min(w, p.cfg.LMax)] // plain LRU
+	bestE, bestL := 0, 0
+	for _, e := range p.es {
+		if e < 1 || e >= w {
+			continue
+		}
+		for _, l := range p.ls {
+			late := float64(prefix[l] - prefix[e])
+			keep := float64(w-e) / float64(l-e)
+			hits := float64(prefix[e]) + keep*late
+			if hits > float64(bestHits) {
+				bestHits = uint64(hits)
+				bestE, bestL = e, l
+			}
+		}
+	}
+	p.e, p.l = bestE, bestL
+	// Decay history so phases can change the decision.
+	for i := range p.hist {
+		p.hist[i] /= 2
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+
+	"pdp/internal/cache"
+	"pdp/internal/core"
+	"pdp/internal/pdproc"
+	"pdp/internal/trace"
+	"pdp/internal/workload"
+)
+
+// TestPDPWithHardwareSolver runs the dynamic PDP end-to-end with the
+// cycle-accurate PD-compute processor in the loop and checks it tracks the
+// software solver: same workload, closely matching hit rates, and machine
+// time negligible against the recompute interval (the paper's Sec. 3
+// claim).
+func TestPDPWithHardwareSolver(t *testing.T) {
+	b, _ := workload.ByName("436.cactusADM")
+	const n = 600_000
+	run := func(solver core.PDSolver) (*cache.Cache, *core.PDP) {
+		pol := core.New(core.Config{
+			Sets: LLCSets, Ways: LLCWays, Bypass: true,
+			RecomputeEvery: 50_000, Solver: solver,
+		})
+		c := cache.New(cache.Config{Name: "LLC", Sets: LLCSets, Ways: LLCWays,
+			LineSize: trace.LineSize, AllowBypass: true}, pol)
+		g := b.Generator(LLCSets, 1, 7)
+		for i := 0; i < n; i++ {
+			c.Access(g.Next())
+		}
+		return c, pol
+	}
+
+	hw := &pdproc.Solver{}
+	cHW, pHW := run(hw)
+	cSW, pSW := run(nil) // default software solver
+
+	if hw.Runs == 0 {
+		t.Fatal("hardware solver never invoked")
+	}
+	if pHW.PD() != pSW.PD() {
+		// The fixed-point search may differ by quantization; both must land
+		// in the same RDD peak.
+		d := pHW.PD() - pSW.PD()
+		if d < -8 || d > 8 {
+			t.Fatalf("hardware PD %d vs software PD %d", pHW.PD(), pSW.PD())
+		}
+	}
+	hrHW, hrSW := cHW.Stats.HitRate(), cSW.Stats.HitRate()
+	if hrHW < 0.95*hrSW {
+		t.Fatalf("hardware-solver hit rate %.4f vs software %.4f", hrHW, hrSW)
+	}
+	// Machine time per recompute must be a vanishing fraction of the
+	// interval (paper: the processor can sleep between recomputations).
+	perRun := float64(hw.TotalCycles) / float64(hw.Runs)
+	if perRun/50_000 > 0.2 {
+		t.Fatalf("hardware search costs %.0f cycles per 50K-access interval", perRun)
+	}
+}

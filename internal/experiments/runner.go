@@ -1,0 +1,259 @@
+// Package experiments regenerates every table and figure of the PDP
+// paper's evaluation (see DESIGN.md's per-experiment index). Each
+// experiment writes a plain-text table; cmd/repro drives them by id.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"text/tabwriter"
+
+	"pdp/internal/cache"
+	"pdp/internal/core"
+	"pdp/internal/cpu"
+	"pdp/internal/dip"
+	"pdp/internal/eelru"
+	"pdp/internal/rrip"
+	"pdp/internal/sdp"
+	"pdp/internal/trace"
+	"pdp/internal/workload"
+)
+
+// Paper Table 1 LLC geometry: 2MB, 16-way, 64B lines.
+const (
+	LLCSets = 2048
+	LLCWays = 16
+)
+
+// Config controls experiment execution.
+type Config struct {
+	// Accesses is the single-core trace window in LLC accesses (the paper's
+	// 1B-instruction windows, scaled; see DESIGN.md).
+	Accesses int
+	// MCAccessesPerThread is the per-thread window for multi-core runs.
+	MCAccessesPerThread int
+	// Mixes4 and Mixes16 are the workload counts for Fig. 12 (paper: 80).
+	Mixes4, Mixes16 int
+	// Seed fixes all random streams.
+	Seed uint64
+	// Out receives the rendered tables.
+	Out io.Writer
+}
+
+// DefaultConfig returns a configuration sized for minutes-scale runs.
+func DefaultConfig(out io.Writer) Config {
+	return Config{
+		Accesses:            1_000_000,
+		MCAccessesPerThread: 400_000,
+		Mixes4:              20,
+		Mixes16:             8,
+		Seed:                42,
+		Out:                 out,
+	}
+}
+
+// PolicySpec names a policy and builds it for a given geometry.
+type PolicySpec struct {
+	Name   string
+	Bypass bool
+	New    func(sets, ways int, seed uint64) cache.Policy
+}
+
+// Standard single-core policy specs.
+func specLRU() PolicySpec {
+	return PolicySpec{Name: "LRU", New: func(s, w int, _ uint64) cache.Policy { return cache.NewLRU(s, w) }}
+}
+
+func specDIP() PolicySpec {
+	return PolicySpec{Name: "DIP", New: func(s, w int, seed uint64) cache.Policy {
+		return dip.NewDIP(s, w, dip.DefaultEpsilon, seed)
+	}}
+}
+
+func specDRRIP(eps float64) PolicySpec {
+	name := "DRRIP"
+	if eps != rrip.DefaultEpsilon {
+		name = fmt.Sprintf("DRRIP(1/%.0f)", 1/eps)
+	}
+	return PolicySpec{Name: name, New: func(s, w int, seed uint64) cache.Policy {
+		return rrip.NewDRRIP(s, w, eps, seed)
+	}}
+}
+
+func specEELRU() PolicySpec {
+	return PolicySpec{Name: "EELRU", New: func(s, w int, _ uint64) cache.Policy {
+		return eelru.New(eelru.Config{Sets: s, Ways: w})
+	}}
+}
+
+func specSDP() PolicySpec {
+	return PolicySpec{Name: "SDP", Bypass: true, New: func(s, w int, _ uint64) cache.Policy {
+		return sdp.New(sdp.Config{Sets: s, Ways: w, AllowBypass: true})
+	}}
+}
+
+func specPDP(nc int, recompute uint64) PolicySpec {
+	return PolicySpec{Name: fmt.Sprintf("PDP-%d", nc), Bypass: true,
+		New: func(s, w int, _ uint64) cache.Policy {
+			return core.New(core.Config{Sets: s, Ways: w, NC: nc, Bypass: true, RecomputeEvery: recompute})
+		}}
+}
+
+func specSPDP(pd int, bypass bool) PolicySpec {
+	name := fmt.Sprintf("SPDP-NB(%d)", pd)
+	if bypass {
+		name = fmt.Sprintf("SPDP-B(%d)", pd)
+	}
+	return PolicySpec{Name: name, Bypass: bypass, New: func(s, w int, _ uint64) cache.Policy {
+		return core.New(core.Config{Sets: s, Ways: w, StaticPD: pd, Bypass: bypass})
+	}}
+}
+
+// RunResult summarizes one single-core run.
+type RunResult struct {
+	Bench  string
+	Policy string
+	Stats  cache.Stats
+	Instr  uint64
+	IPC    float64
+	MPKI   float64
+}
+
+// BypassFrac returns bypasses / accesses.
+func (r RunResult) BypassFrac() float64 {
+	if r.Stats.Accesses == 0 {
+		return 0
+	}
+	return float64(r.Stats.Bypasses) / float64(r.Stats.Accesses)
+}
+
+// RunSingle drives n accesses of benchmark b through a fresh LLC managed by
+// spec's policy.
+func RunSingle(b workload.Benchmark, spec PolicySpec, n int, seed uint64) RunResult {
+	return RunSingleMonitored(b, spec, n, seed, nil)
+}
+
+// Warmup returns the number of unmeasured warm-up accesses for a window of
+// n measured accesses. Warm-up serves two purposes: the cache and the
+// dynamic policies reach steady state, and the trace generators accumulate
+// enough per-set history to produce their long reuse distances (a d=124
+// set-level reuse needs ~124 x 2048 global accesses of history).
+func Warmup(n int) int {
+	w := n / 2
+	if w < 64_000 {
+		w = 64_000
+	}
+	if w > 300_000 {
+		w = 300_000
+	}
+	return w
+}
+
+// RunSingleMonitored is RunSingle with an attached cache monitor. Warm-up
+// accesses run before counters (and the monitor) start.
+func RunSingleMonitored(b workload.Benchmark, spec PolicySpec, n int, seed uint64, mon cache.Monitor) RunResult {
+	pol := spec.New(LLCSets, LLCWays, seed)
+	c := cache.New(cache.Config{
+		Name: "LLC", Sets: LLCSets, Ways: LLCWays, LineSize: trace.LineSize,
+		AllowBypass: spec.Bypass,
+	}, pol)
+	g := b.Generator(LLCSets, 1, seed)
+	for i := Warmup(n); i > 0; i-- {
+		c.Access(g.Next())
+	}
+	c.Stats = cache.Stats{}
+	if mon != nil {
+		c.SetMonitor(mon)
+	}
+	for i := 0; i < n; i++ {
+		c.Access(g.Next())
+	}
+	instr := cpu.Instructions(c.Stats.Accesses, b.APKI)
+	model := cpu.Default()
+	mem := c.Stats.Misses // misses include bypasses
+	return RunResult{
+		Bench:  b.Name,
+		Policy: spec.Name,
+		Stats:  c.Stats,
+		Instr:  instr,
+		IPC:    model.IPC(instr, c.Stats.Hits, mem),
+		MPKI:   cpu.MPKI(mem, instr),
+	}
+}
+
+// table starts an aligned text table on w.
+func table(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+func header(out io.Writer, id, title string) {
+	fmt.Fprintf(out, "\n=== %s — %s ===\n", id, title)
+}
+
+// fmtPct renders a fraction as a signed percentage.
+func fmtPct(f float64) string { return fmt.Sprintf("%+.1f%%", 100*f) }
+
+// SpecByName resolves a single-core policy spec from a command-line name:
+// lru, dip, drrip, drrip:1/64, eelru, sdp, pdp-2, pdp-3, pdp-8,
+// spdp-b:76, spdp-nb:76.
+func SpecByName(name string, accesses int) (PolicySpec, error) {
+	recompute := uint64(accesses / 8)
+	if recompute < 4096 {
+		recompute = 4096
+	}
+	var pd int
+	switch {
+	case name == "lru":
+		return specLRU(), nil
+	case name == "dip":
+		return specDIP(), nil
+	case name == "drrip":
+		return specDRRIP(1.0 / 32), nil
+	case name == "eelru":
+		return specEELRU(), nil
+	case name == "sdp":
+		return specSDP(), nil
+	case name == "pdp-2":
+		return specPDP(2, recompute), nil
+	case name == "pdp-3":
+		return specPDP(3, recompute), nil
+	case name == "pdp-8":
+		return specPDP(8, recompute), nil
+	}
+	if n, err := fmt.Sscanf(name, "spdp-b:%d", &pd); err == nil && n == 1 {
+		return specSPDP(pd, true), nil
+	}
+	if n, err := fmt.Sscanf(name, "spdp-nb:%d", &pd); err == nil && n == 1 {
+		return specSPDP(pd, false), nil
+	}
+	var denom float64
+	if n, err := fmt.Sscanf(name, "drrip:1/%f", &denom); err == nil && n == 1 && denom > 0 {
+		return specDRRIP(1 / denom), nil
+	}
+	return PolicySpec{}, fmt.Errorf("unknown policy %q", name)
+}
+
+// MCSpecByName resolves a multi-core policy spec: ta-drrip, ucp, pipp,
+// pdppart-2, pdppart-3, pdppart-8.
+func MCSpecByName(name string, perThread int) (MCPolicySpec, error) {
+	interval := uint64(perThread / 4)
+	if interval < 4096 {
+		interval = 4096
+	}
+	switch name {
+	case "ta-drrip":
+		return mcTADRRIP(), nil
+	case "ucp":
+		return mcUCP(interval), nil
+	case "pipp":
+		return mcPIPP(interval), nil
+	case "pdppart-2":
+		return mcPDPPart(2, interval), nil
+	case "pdppart-3":
+		return mcPDPPart(3, interval), nil
+	case "pdppart-8":
+		return mcPDPPart(8, interval), nil
+	}
+	return MCPolicySpec{}, fmt.Errorf("unknown multi-core policy %q", name)
+}

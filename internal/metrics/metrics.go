@@ -1,0 +1,99 @@
+// Package metrics implements the multi-programmed performance metrics of
+// the PDP paper's multi-core evaluation (Sec. 5): weighted IPC, throughput
+// and the harmonic mean of normalized IPCs (fairness), plus small helpers.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// WeightedIPC returns sum_i IPC_i / IPCSingle_i (the paper's W).
+func WeightedIPC(ipc, single []float64) (float64, error) {
+	if err := checkPair(ipc, single); err != nil {
+		return 0, err
+	}
+	w := 0.0
+	for i := range ipc {
+		if single[i] <= 0 {
+			return 0, fmt.Errorf("metrics: non-positive single-thread IPC at %d", i)
+		}
+		w += ipc[i] / single[i]
+	}
+	return w, nil
+}
+
+// Throughput returns sum_i IPC_i (the paper's T).
+func Throughput(ipc []float64) float64 {
+	t := 0.0
+	for _, v := range ipc {
+		t += v
+	}
+	return t
+}
+
+// HarmonicMeanNorm returns N / sum_i (IPCSingle_i / IPC_i) (the paper's H,
+// a balance of performance and fairness).
+func HarmonicMeanNorm(ipc, single []float64) (float64, error) {
+	if err := checkPair(ipc, single); err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for i := range ipc {
+		if ipc[i] <= 0 {
+			return 0, fmt.Errorf("metrics: non-positive IPC at %d", i)
+		}
+		s += single[i] / ipc[i]
+	}
+	return float64(len(ipc)) / s, nil
+}
+
+func checkPair(a, b []float64) error {
+	if len(a) == 0 || len(a) != len(b) {
+		return fmt.Errorf("metrics: mismatched slices (%d vs %d)", len(a), len(b))
+	}
+	return nil
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Improvement returns (x/base - 1): the relative gain of x over base.
+func Improvement(x, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return x/base - 1
+}
+
+// Reduction returns (1 - x/base): e.g. miss reduction relative to a base.
+func Reduction(x, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 1 - x/base
+}

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedIPC(t *testing.T) {
+	w, err := WeightedIPC([]float64{1, 2}, []float64{2, 2})
+	if err != nil || math.Abs(w-1.5) > 1e-12 {
+		t.Fatalf("W = %v, %v; want 1.5", w, err)
+	}
+	if _, err := WeightedIPC([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched slices must error")
+	}
+	if _, err := WeightedIPC([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("zero single-thread IPC must error")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput([]float64{1, 2, 3}); got != 6 {
+		t.Fatalf("T = %v, want 6", got)
+	}
+}
+
+func TestHarmonicMeanNorm(t *testing.T) {
+	// Equal slowdowns: H equals the common ratio.
+	h, err := HarmonicMeanNorm([]float64{1, 1}, []float64{2, 2})
+	if err != nil || math.Abs(h-0.5) > 1e-12 {
+		t.Fatalf("H = %v, %v; want 0.5", h, err)
+	}
+	if _, err := HarmonicMeanNorm([]float64{0}, []float64{1}); err == nil {
+		t.Fatal("zero IPC must error")
+	}
+}
+
+func TestHarmonicPenalizesImbalance(t *testing.T) {
+	single := []float64{1, 1}
+	balanced, _ := HarmonicMeanNorm([]float64{0.5, 0.5}, single)
+	skewed, _ := HarmonicMeanNorm([]float64{0.9, 0.1}, single)
+	if skewed >= balanced {
+		t.Fatalf("H must penalize unfairness: balanced %v, skewed %v", balanced, skewed)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v, want 2", got)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, -1}) != 0 {
+		t.Fatal("degenerate inputs must give 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v, want 2", got)
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+}
+
+func TestImprovementReduction(t *testing.T) {
+	if got := Improvement(1.2, 1.0); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("Improvement = %v", got)
+	}
+	if got := Reduction(80, 100); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("Reduction = %v", got)
+	}
+	if Improvement(1, 0) != 0 || Reduction(1, 0) != 0 {
+		t.Fatal("zero base must give 0")
+	}
+}
+
+func TestWeightedIPCBounds(t *testing.T) {
+	// Property: W is between N*min(ratio) and N*max(ratio).
+	f := func(a, b uint8) bool {
+		ipc := []float64{float64(a)/64 + 0.1, float64(b)/64 + 0.1}
+		single := []float64{1, 1}
+		w, err := WeightedIPC(ipc, single)
+		if err != nil {
+			return false
+		}
+		lo := math.Min(ipc[0], ipc[1])
+		hi := math.Max(ipc[0], ipc[1])
+		return w >= 2*lo-1e-9 && w <= 2*hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

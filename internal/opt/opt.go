@@ -1,0 +1,129 @@
+// Package opt implements Belady's offline optimal replacement (MIN) for
+// set-associative caches, with an optional optimal bypass decision for
+// non-inclusive caches. It is not a cache.Policy — OPT needs the future —
+// but a standalone two-pass simulator over a recorded trace. The paper
+// discusses Belady only as the unreachable reference (Shepherd cache
+// emulates it); here it bounds how much of the available headroom PDP
+// actually captures (see the optgap experiment).
+package opt
+
+import (
+	"fmt"
+
+	"pdp/internal/trace"
+)
+
+// Stats reports an OPT simulation.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+	Bypasses uint64
+}
+
+// HitRate returns hits/accesses.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// infinity marks "never referenced again".
+const infinity = int(^uint(0) >> 1)
+
+// Simulate runs Belady's MIN over the access sequence for a sets x ways
+// cache. With bypass enabled (non-inclusive cache), a miss whose line's
+// next use is farther than every resident line's next use is not allocated
+// — the optimal bypass rule.
+//
+// Each set is processed independently (set-associative OPT decomposes per
+// set). Memory use is O(len(accs)).
+func Simulate(accs []trace.Access, sets, ways int, bypass bool) (Stats, error) {
+	if sets <= 0 || sets&(sets-1) != 0 || ways <= 0 {
+		return Stats{}, fmt.Errorf("opt: invalid geometry %dx%d", sets, ways)
+	}
+	var st Stats
+	st.Accesses = uint64(len(accs))
+
+	// Bucket access indices by set, preserving order.
+	perSet := make([][]int32, sets)
+	lineOf := make([]uint64, len(accs))
+	for i, a := range accs {
+		line := a.Addr / trace.LineSize
+		lineOf[i] = line
+		s := int(line) & (sets - 1)
+		perSet[s] = append(perSet[s], int32(i))
+	}
+
+	// next[i] = index (into the per-set sequence) of the next access to the
+	// same line, or infinity.
+	for s := 0; s < sets; s++ {
+		seq := perSet[s]
+		n := len(seq)
+		if n == 0 {
+			continue
+		}
+		next := make([]int, n)
+		last := make(map[uint64]int, ways*4)
+		for j := n - 1; j >= 0; j-- {
+			line := lineOf[seq[j]]
+			if k, ok := last[line]; ok {
+				next[j] = k
+			} else {
+				next[j] = infinity
+			}
+			last[line] = j
+		}
+
+		// Residents: parallel arrays of line id and its next-use index.
+		resLine := make([]uint64, 0, ways)
+		resNext := make([]int, 0, ways)
+		for j := 0; j < n; j++ {
+			line := lineOf[seq[j]]
+			hit := -1
+			for w, rl := range resLine {
+				if rl == line {
+					hit = w
+					break
+				}
+			}
+			if hit >= 0 {
+				st.Hits++
+				resNext[hit] = next[j]
+				continue
+			}
+			st.Misses++
+			if len(resLine) < ways {
+				resLine = append(resLine, line)
+				resNext = append(resNext, next[j])
+				continue
+			}
+			// Find the resident with the farthest next use.
+			victim, far := 0, resNext[0]
+			for w := 1; w < ways; w++ {
+				if resNext[w] > far {
+					victim, far = w, resNext[w]
+				}
+			}
+			if bypass && next[j] >= far {
+				// The fetched line is reused no sooner than the farthest
+				// resident: allocating cannot help.
+				st.Bypasses++
+				continue
+			}
+			resLine[victim] = line
+			resNext[victim] = next[j]
+		}
+	}
+	return st, nil
+}
+
+// Collect records n accesses from g for an OPT run.
+func Collect(g trace.Generator, n int) []trace.Access {
+	out := make([]trace.Access, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package partition
+
+import (
+	"pdp/internal/cache"
+	"pdp/internal/trace"
+)
+
+// PIPP is Promotion/Insertion Pseudo-Partitioning (Xie & Loh, ISCA 2009):
+// the lookahead allocation is enforced implicitly by inserting thread i's
+// lines at priority position pi_i and promoting hits by a single step with
+// probability p_prom. Streaming threads (misses > theta_m and miss rate >
+// theta_mr in an interval) insert at the bottom instead.
+type PIPP struct {
+	sets, ways, threads int
+	umon                *UMON
+	alloc               []int
+
+	// prio[set] lists ways from lowest priority (victim end, index 0) to
+	// highest.
+	prio [][]uint8
+
+	pprom   float64
+	pstream float64
+	thetaM  uint64
+	thetaMR float64
+
+	interval uint64
+	accs     uint64
+	// interval miss/access counters per thread for stream detection
+	ivMiss, ivAcc []uint64
+	stream        []bool
+
+	rng *trace.RNG
+}
+
+var _ cache.Policy = (*PIPP)(nil)
+
+// NewPIPP builds a PIPP policy with the original work's parameters
+// (p_prom = 3/4, p_stream = 1/128, theta_m = 4095, theta_mr = 0.125).
+func NewPIPP(sets, ways, threads int, interval uint64, seed uint64) *PIPP {
+	if interval == 0 {
+		interval = 256 * 1024
+	}
+	p := &PIPP{
+		sets: sets, ways: ways, threads: threads,
+		umon:     NewUMON(sets, ways, threads),
+		alloc:    make([]int, threads),
+		prio:     make([][]uint8, sets),
+		pprom:    3.0 / 4.0,
+		pstream:  1.0 / 128.0,
+		thetaM:   4095,
+		thetaMR:  0.125,
+		interval: interval,
+		ivMiss:   make([]uint64, threads),
+		ivAcc:    make([]uint64, threads),
+		stream:   make([]bool, threads),
+		rng:      trace.NewRNG(seed),
+	}
+	for s := range p.prio {
+		order := make([]uint8, ways)
+		for w := range order {
+			order[w] = uint8(w)
+		}
+		p.prio[s] = order
+	}
+	for w := 0; w < ways; w++ {
+		p.alloc[w%threads]++
+	}
+	return p
+}
+
+// Name implements cache.Policy.
+func (p *PIPP) Name() string { return "PIPP" }
+
+// Allocation returns the current way allocation (testing).
+func (p *PIPP) Allocation() []int { return append([]int(nil), p.alloc...) }
+
+// Streaming reports whether thread t is currently classified as streaming.
+func (p *PIPP) Streaming(t int) bool { return p.stream[t] }
+
+func (p *PIPP) thread(acc trace.Access) int {
+	if acc.Thread < 0 || acc.Thread >= p.threads {
+		return 0
+	}
+	return acc.Thread
+}
+
+// posOf returns way's index in the set's priority list.
+func (p *PIPP) posOf(set, way int) int {
+	for i, w := range p.prio[set] {
+		if int(w) == way {
+			return i
+		}
+	}
+	return -1
+}
+
+// Hit implements cache.Policy: promote by one position with p_prom.
+func (p *PIPP) Hit(set, way int, acc trace.Access) {
+	if !p.rng.Bernoulli(p.pprom) {
+		return
+	}
+	order := p.prio[set]
+	i := p.posOf(set, way)
+	if i >= 0 && i < len(order)-1 {
+		order[i], order[i+1] = order[i+1], order[i]
+	}
+}
+
+// Victim implements cache.Policy: the lowest-priority line.
+func (p *PIPP) Victim(set int, _ trace.Access) (int, bool) {
+	return int(p.prio[set][0]), false
+}
+
+// Insert implements cache.Policy: place the filled way at the thread's
+// insertion position.
+func (p *PIPP) Insert(set, way int, acc trace.Access) {
+	t := p.thread(acc)
+	if !acc.WB {
+		p.ivMiss[t]++ // every insert is a demand miss fill
+	}
+	pos := p.alloc[t] - 1
+	if pos < 0 {
+		pos = 0
+	}
+	if p.stream[t] {
+		// Streaming threads insert at the bottom, very occasionally one up.
+		pos = 0
+		if p.pstream > 0 && p.rng.Bernoulli(p.pstream) {
+			pos = 1
+		}
+	}
+	if pos >= p.ways {
+		pos = p.ways - 1
+	}
+	order := p.prio[set]
+	// Remove `way` from its current position, then insert at pos.
+	i := p.posOf(set, way)
+	if i < 0 {
+		return
+	}
+	copy(order[i:], order[i+1:len(order)])
+	order = order[:len(order)-1]
+	order = append(order, 0)
+	copy(order[pos+1:], order[pos:len(order)-1])
+	order[pos] = uint8(way)
+	p.prio[set] = order
+}
+
+// Evict implements cache.Policy.
+func (p *PIPP) Evict(set, way int) {}
+
+// PostAccess implements cache.Policy.
+func (p *PIPP) PostAccess(set int, acc trace.Access) {
+	t := p.thread(acc)
+	if !acc.WB {
+		p.umon.Access(set, t, acc.Addr)
+		p.ivAcc[t]++
+	}
+	p.accs++
+	if p.accs%p.interval == 0 {
+		p.alloc = p.umon.Lookahead()
+		for i := 0; i < p.threads; i++ {
+			mr := 0.0
+			if p.ivAcc[i] > 0 {
+				mr = float64(p.ivMiss[i]) / float64(p.ivAcc[i])
+			}
+			p.stream[i] = p.ivMiss[i] > p.thetaM && mr > p.thetaMR
+			p.ivMiss[i], p.ivAcc[i] = 0, 0
+		}
+		p.umon.Decay()
+	}
+}

@@ -1,0 +1,138 @@
+package partition
+
+import (
+	"pdp/internal/cache"
+	"pdp/internal/trace"
+)
+
+// UCP is Utility-based Cache Partitioning: a UMON per thread, the lookahead
+// algorithm computing a way allocation, and an LRU replacement that evicts
+// from over-allocated threads first.
+type UCP struct {
+	sets, ways, threads int
+	lru                 *cache.LRU
+	umon                *UMON
+	alloc               []int
+	owner               []int16 // per line
+	interval            uint64
+	accs                uint64
+	occScratch          []int // per-victim occupancy counts (avoids allocation)
+}
+
+var _ cache.Policy = (*UCP)(nil)
+
+// NewUCP builds a UCP policy; interval is the repartitioning period in
+// accesses (0 selects a default).
+func NewUCP(sets, ways, threads int, interval uint64) *UCP {
+	if interval == 0 {
+		interval = 256 * 1024
+	}
+	p := &UCP{
+		sets: sets, ways: ways, threads: threads,
+		lru:        cache.NewLRU(sets, ways),
+		umon:       NewUMON(sets, ways, threads),
+		alloc:      make([]int, threads),
+		owner:      make([]int16, sets*ways),
+		interval:   interval,
+		occScratch: make([]int, threads),
+	}
+	for i := range p.owner {
+		p.owner[i] = -1
+	}
+	// Equal initial shares.
+	for w := 0; w < ways; w++ {
+		p.alloc[w%threads]++
+	}
+	return p
+}
+
+// Name implements cache.Policy.
+func (p *UCP) Name() string { return "UCP" }
+
+// Allocation returns the current per-thread way allocation.
+func (p *UCP) Allocation() []int { return append([]int(nil), p.alloc...) }
+
+// UMON exposes the monitor (testing).
+func (p *UCP) UMON() *UMON { return p.umon }
+
+func (p *UCP) thread(acc trace.Access) int {
+	if acc.Thread < 0 || acc.Thread >= p.threads {
+		return 0
+	}
+	return acc.Thread
+}
+
+// Hit implements cache.Policy.
+func (p *UCP) Hit(set, way int, acc trace.Access) { p.lru.Hit(set, way, acc) }
+
+// Victim implements cache.Policy: evict the LRU line of a thread occupying
+// more ways than its allocation; fall back to global LRU.
+func (p *UCP) Victim(set int, acc trace.Access) (int, bool) {
+	base := set * p.ways
+	occ := p.occScratch
+	for i := range occ {
+		occ[i] = 0
+	}
+	for w := 0; w < p.ways; w++ {
+		if t := p.owner[base+w]; t >= 0 {
+			occ[t]++
+		}
+	}
+	// Prefer the requesting thread's own LRU line if it is over target;
+	// otherwise any over-allocated thread's LRU line.
+	me := p.thread(acc)
+	victimOf := func(pred func(t int) bool) int {
+		best := -1
+		for _, w := range reverseStack(p.lru, set) { // LRU-first order
+			t := int(p.owner[base+w])
+			if t >= 0 && pred(t) {
+				best = w
+				break
+			}
+		}
+		return best
+	}
+	if occ[me] > p.alloc[me] {
+		if w := victimOf(func(t int) bool { return t == me }); w >= 0 {
+			return w, false
+		}
+	}
+	if w := victimOf(func(t int) bool { return occ[t] > p.alloc[t] }); w >= 0 {
+		return w, false
+	}
+	return p.lru.Victim(set, acc)
+}
+
+// reverseStack returns ways ordered LRU-first.
+func reverseStack(lru *cache.LRU, set int) []int {
+	order := lru.StackOrder(set)
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// Insert implements cache.Policy.
+func (p *UCP) Insert(set, way int, acc trace.Access) {
+	p.lru.Insert(set, way, acc)
+	p.owner[set*p.ways+way] = int16(p.thread(acc))
+}
+
+// Evict implements cache.Policy.
+func (p *UCP) Evict(set, way int) {
+	p.lru.Evict(set, way)
+	p.owner[set*p.ways+way] = -1
+}
+
+// PostAccess implements cache.Policy: feeds the UMON and repartitions
+// periodically.
+func (p *UCP) PostAccess(set int, acc trace.Access) {
+	if !acc.WB {
+		p.umon.Access(set, p.thread(acc), acc.Addr)
+	}
+	p.accs++
+	if p.accs%p.interval == 0 {
+		p.alloc = p.umon.Lookahead()
+		p.umon.Decay()
+	}
+}

@@ -1,0 +1,163 @@
+// Package partition implements the PDP paper's multi-core shared-LLC
+// policies: the PD-based partitioning of Sec. 4 and its comparison points
+// UCP (Qureshi & Patt, MICRO 2006) and PIPP (Xie & Loh, ISCA 2009).
+// TA-DRRIP, the paper's multi-core baseline, lives in internal/rrip.
+package partition
+
+import (
+	"fmt"
+
+	"pdp/internal/trace"
+)
+
+// UMON is a utility monitor: one auxiliary tag directory (ATD) per thread
+// over a few sampled sets, with true-LRU stack-distance hit counters. It
+// answers "how many hits would thread t get with w ways?" and implements
+// the lookahead partitioning algorithm used by both UCP and PIPP.
+type UMON struct {
+	threads, ways int
+	stride        int
+	sampledSets   int
+
+	// atd[t][slot] is an LRU-ordered tag list (MRU first) per thread/slot.
+	atd [][][]uint64
+	// hits[t][pos] counts hits at 1-based LRU stack position pos.
+	hits [][]uint64
+	// misses[t] counts ATD misses.
+	misses []uint64
+}
+
+// NewUMON builds a monitor with up to 32 sampled sets.
+func NewUMON(sets, ways, threads int) *UMON {
+	if threads < 1 || ways < 1 || sets < 1 {
+		panic(fmt.Sprintf("partition: invalid UMON geometry sets=%d ways=%d threads=%d", sets, ways, threads))
+	}
+	sampled := 32
+	if sampled > sets {
+		sampled = sets
+	}
+	u := &UMON{
+		threads:     threads,
+		ways:        ways,
+		stride:      sets / sampled,
+		sampledSets: sampled,
+		atd:         make([][][]uint64, threads),
+		hits:        make([][]uint64, threads),
+		misses:      make([]uint64, threads),
+	}
+	for t := 0; t < threads; t++ {
+		u.atd[t] = make([][]uint64, sampled)
+		u.hits[t] = make([]uint64, ways+1)
+	}
+	return u
+}
+
+// Access feeds one access into the monitor (no-op for unsampled sets).
+func (u *UMON) Access(set, thread int, addr uint64) {
+	if thread < 0 || thread >= u.threads || set%u.stride != 0 {
+		return
+	}
+	slot := set / u.stride
+	if slot >= u.sampledSets {
+		return
+	}
+	tag := addr / trace.LineSize
+	st := u.atd[thread][slot]
+	for i, a := range st {
+		if a == tag {
+			u.hits[thread][i+1]++
+			copy(st[1:i+1], st[:i])
+			st[0] = tag
+			return
+		}
+	}
+	u.misses[thread]++
+	if len(st) < u.ways {
+		st = append(st, 0)
+	}
+	copy(st[1:], st)
+	st[0] = tag
+	u.atd[thread][slot] = st
+}
+
+// Utility returns the hits thread t would see with w ways (prefix sum of
+// stack-distance counters).
+func (u *UMON) Utility(t, w int) uint64 {
+	if w > u.ways {
+		w = u.ways
+	}
+	var s uint64
+	for i := 1; i <= w; i++ {
+		s += u.hits[t][i]
+	}
+	return s
+}
+
+// Misses returns the monitored miss count of thread t.
+func (u *UMON) Misses(t int) uint64 { return u.misses[t] }
+
+// Accesses returns the monitored access count of thread t.
+func (u *UMON) Accesses(t int) uint64 {
+	return u.misses[t] + u.Utility(t, u.ways)
+}
+
+// Decay halves all counters (periodic aging).
+func (u *UMON) Decay() {
+	for t := 0; t < u.threads; t++ {
+		for i := range u.hits[t] {
+			u.hits[t][i] /= 2
+		}
+		u.misses[t] /= 2
+	}
+}
+
+// Lookahead runs the UCP lookahead partitioning algorithm: every thread
+// gets at least one way; the remaining ways go, greedily, to the thread
+// with the highest marginal utility per way over any lookahead extent.
+func (u *UMON) Lookahead() []int {
+	alloc := make([]int, u.threads)
+	balance := u.ways
+	for t := range alloc {
+		alloc[t] = 1
+		balance--
+	}
+	if balance < 0 {
+		// More threads than ways: round-robin single ways (degenerate).
+		for t := range alloc {
+			alloc[t] = 0
+		}
+		for w := 0; w < u.ways; w++ {
+			alloc[w%u.threads]++
+		}
+		return alloc
+	}
+	for balance > 0 {
+		bestT, bestK := -1, 0
+		bestMU := -1.0
+		for t := 0; t < u.threads; t++ {
+			base := u.Utility(t, alloc[t])
+			for k := 1; k <= balance && alloc[t]+k <= u.ways; k++ {
+				mu := float64(u.Utility(t, alloc[t]+k)-base) / float64(k)
+				if mu > bestMU {
+					bestMU, bestT, bestK = mu, t, k
+				}
+			}
+		}
+		if bestT < 0 {
+			break
+		}
+		if bestMU <= 0 {
+			// No thread benefits: spread the remainder round-robin.
+			for i := 0; balance > 0; i = (i + 1) % u.threads {
+				if alloc[i] < u.ways {
+					alloc[i]++
+					balance--
+				}
+			}
+			break
+		}
+		alloc[bestT] += bestK
+		balance -= bestK
+	}
+	return alloc
+}

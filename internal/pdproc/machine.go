@@ -1,0 +1,228 @@
+// Package pdproc models the PDP paper's special-purpose "PD compute logic"
+// processor (Sec. 3, Fig. 8): a tiny machine with eight 8-bit registers
+// (R0-R7), eight 32-bit registers (R8-R15), and sixteen integer
+// instructions (add/sub, logical, move, branch, mult8, div32). mult8
+// multiplies a 32-bit register by an 8-bit register with shift-add (8
+// cycles); div32 is a 33-cycle non-restoring division. The package runs the
+// actual E-maximization program on this machine, cycle-counted, showing the
+// computation fits the paper's hardware budget.
+package pdproc
+
+import "fmt"
+
+// Op is an instruction opcode. The ISA has exactly sixteen instructions.
+type Op uint8
+
+// The sixteen instructions.
+const (
+	MOVI  Op = iota // Rd = Imm
+	MOV             // Rd = Rs
+	ADD             // Rd = Rs + Rt
+	SUB             // Rd = Rs - Rt
+	AND             // Rd = Rs & Rt
+	OR              // Rd = Rs | Rt
+	XOR             // Rd = Rs ^ Rt
+	SHL             // Rd = Rs << Imm
+	MULT8           // Rd = Rs * (Rt & 0xFF); Rt must be an 8-bit register
+	DIV32           // Rd = Rs / Rt (unsigned; Rt==0 -> all-ones)
+	LDC             // Rd = counters[Rs] (out of range -> 0)
+	BEQ             // if Rs == Rt jump to Target
+	BNE             // if Rs != Rt jump to Target
+	BLT             // if Rs < Rt (unsigned) jump to Target
+	JMP             // jump to Target
+	HALT            // stop
+)
+
+var opNames = [...]string{
+	"MOVI", "MOV", "ADD", "SUB", "AND", "OR", "XOR", "SHL",
+	"MULT8", "DIV32", "LDC", "BEQ", "BNE", "BLT", "JMP", "HALT",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("OP(%d)", uint8(o))
+}
+
+// Cycles returns the latency of the operation (paper: div32 = 33 cycles,
+// mult8 = shift-add over 8 multiplier bits).
+func (o Op) Cycles() uint64 {
+	switch o {
+	case DIV32:
+		return 33
+	case MULT8:
+		return 8
+	default:
+		return 1
+	}
+}
+
+// Instr is one machine instruction. Branch targets are symbolic labels
+// resolved by Assemble.
+type Instr struct {
+	Op     Op
+	Rd     int
+	Rs     int
+	Rt     int
+	Imm    uint32
+	Target string
+	// Label names this instruction's address.
+	Label string
+}
+
+// Program is an assembled instruction sequence with resolved branches.
+type Program struct {
+	ins     []Instr
+	targets []int
+}
+
+// Assemble resolves labels and validates register usage.
+func Assemble(src []Instr) (*Program, error) {
+	labels := map[string]int{}
+	for i, in := range src {
+		if in.Label != "" {
+			if _, dup := labels[in.Label]; dup {
+				return nil, fmt.Errorf("pdproc: duplicate label %q", in.Label)
+			}
+			labels[in.Label] = i
+		}
+	}
+	p := &Program{ins: src, targets: make([]int, len(src))}
+	for i, in := range src {
+		if in.Op > HALT {
+			return nil, fmt.Errorf("pdproc: instruction %d: unknown opcode", i)
+		}
+		for _, r := range []int{in.Rd, in.Rs, in.Rt} {
+			if r < 0 || r > 15 {
+				return nil, fmt.Errorf("pdproc: instruction %d: register %d out of range", i, r)
+			}
+		}
+		if in.Op == MULT8 && in.Rt >= 8 {
+			return nil, fmt.Errorf("pdproc: instruction %d: MULT8 multiplier must be an 8-bit register (R0-R7), got R%d", i, in.Rt)
+		}
+		switch in.Op {
+		case BEQ, BNE, BLT, JMP:
+			t, ok := labels[in.Target]
+			if !ok {
+				return nil, fmt.Errorf("pdproc: instruction %d: undefined label %q", i, in.Target)
+			}
+			p.targets[i] = t
+		}
+	}
+	return p, nil
+}
+
+// Len returns the program length in instructions.
+func (p *Program) Len() int { return len(p.ins) }
+
+// Machine executes a Program against a read-only counter array input port.
+type Machine struct {
+	prog     *Program
+	counters []uint32
+	regs     [16]uint32
+	pc       int
+	cycles   uint64
+	halted   bool
+}
+
+// NewMachine builds a machine with the given program and counter array.
+func NewMachine(prog *Program, counters []uint32) *Machine {
+	return &Machine{prog: prog, counters: counters}
+}
+
+// SetReg writes a register, applying the 8-bit mask for R0-R7.
+func (m *Machine) SetReg(r int, v uint32) {
+	if r < 8 {
+		v &= 0xFF
+	}
+	m.regs[r] = v
+}
+
+// Reg reads a register.
+func (m *Machine) Reg(r int) uint32 { return m.regs[r] }
+
+// Cycles returns the cycles consumed so far.
+func (m *Machine) Cycles() uint64 { return m.cycles }
+
+// Halted reports whether HALT was executed.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Step executes one instruction.
+func (m *Machine) Step() error {
+	if m.halted {
+		return nil
+	}
+	if m.pc < 0 || m.pc >= len(m.prog.ins) {
+		return fmt.Errorf("pdproc: pc %d out of range", m.pc)
+	}
+	in := m.prog.ins[m.pc]
+	m.cycles += in.Op.Cycles()
+	next := m.pc + 1
+	switch in.Op {
+	case MOVI:
+		m.SetReg(in.Rd, in.Imm)
+	case MOV:
+		m.SetReg(in.Rd, m.regs[in.Rs])
+	case ADD:
+		m.SetReg(in.Rd, m.regs[in.Rs]+m.regs[in.Rt])
+	case SUB:
+		m.SetReg(in.Rd, m.regs[in.Rs]-m.regs[in.Rt])
+	case AND:
+		m.SetReg(in.Rd, m.regs[in.Rs]&m.regs[in.Rt])
+	case OR:
+		m.SetReg(in.Rd, m.regs[in.Rs]|m.regs[in.Rt])
+	case XOR:
+		m.SetReg(in.Rd, m.regs[in.Rs]^m.regs[in.Rt])
+	case SHL:
+		m.SetReg(in.Rd, m.regs[in.Rs]<<(in.Imm&31))
+	case MULT8:
+		m.SetReg(in.Rd, m.regs[in.Rs]*(m.regs[in.Rt]&0xFF))
+	case DIV32:
+		if m.regs[in.Rt] == 0 {
+			m.SetReg(in.Rd, ^uint32(0))
+		} else {
+			m.SetReg(in.Rd, m.regs[in.Rs]/m.regs[in.Rt])
+		}
+	case LDC:
+		idx := int(m.regs[in.Rs])
+		var v uint32
+		if idx >= 0 && idx < len(m.counters) {
+			v = m.counters[idx]
+		}
+		m.SetReg(in.Rd, v)
+	case BEQ:
+		if m.regs[in.Rs] == m.regs[in.Rt] {
+			next = m.prog.targets[m.pc]
+		}
+	case BNE:
+		if m.regs[in.Rs] != m.regs[in.Rt] {
+			next = m.prog.targets[m.pc]
+		}
+	case BLT:
+		if m.regs[in.Rs] < m.regs[in.Rt] {
+			next = m.prog.targets[m.pc]
+		}
+	case JMP:
+		next = m.prog.targets[m.pc]
+	case HALT:
+		m.halted = true
+		return nil
+	}
+	m.pc = next
+	return nil
+}
+
+// Run executes until HALT or the cycle budget is exhausted.
+func (m *Machine) Run(maxCycles uint64) error {
+	for !m.halted {
+		if m.cycles > maxCycles {
+			return fmt.Errorf("pdproc: exceeded cycle budget %d", maxCycles)
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+// Package prefetch implements a simple reference stream prefetcher used by
+// the PDP paper's prefetch-aware study (Sec. 6.5): per-page stream entries
+// train on unit line strides and, once confident, issue a configurable
+// degree of prefetches ahead of the demand stream.
+package prefetch
+
+import "pdp/internal/trace"
+
+// Config parameterizes the prefetcher.
+type Config struct {
+	// Streams is the number of concurrently tracked streams.
+	Streams int
+	// Degree is the number of lines prefetched ahead once a stream trains.
+	Degree int
+	// PageBits sets the stream-matching granularity (default 12 = 4KB).
+	PageBits uint
+	// TrainThreshold is the number of consecutive same-direction strides
+	// needed before prefetches issue.
+	TrainThreshold int
+}
+
+func (c *Config) setDefaults() {
+	if c.Streams == 0 {
+		c.Streams = 16
+	}
+	if c.Degree == 0 {
+		c.Degree = 2
+	}
+	if c.PageBits == 0 {
+		c.PageBits = 12
+	}
+	if c.TrainThreshold == 0 {
+		c.TrainThreshold = 2
+	}
+}
+
+type stream struct {
+	page  uint64
+	last  int64 // line number
+	dir   int64
+	conf  int
+	lru   uint64
+	valid bool
+}
+
+// Prefetcher is a stream prefetcher.
+type Prefetcher struct {
+	cfg     Config
+	streams []stream
+	clock   uint64
+
+	// Issued counts prefetch addresses produced.
+	Issued uint64
+}
+
+// New builds a stream prefetcher.
+func New(cfg Config) *Prefetcher {
+	cfg.setDefaults()
+	return &Prefetcher{cfg: cfg, streams: make([]stream, cfg.Streams)}
+}
+
+// Observe feeds one demand access and returns the line-aligned addresses to
+// prefetch (possibly none).
+func (p *Prefetcher) Observe(acc trace.Access) []uint64 {
+	line := int64(acc.Addr / trace.LineSize)
+	page := acc.Addr >> p.cfg.PageBits
+	p.clock++
+
+	// Find a matching stream by page (also matching the neighbor page so
+	// streams can cross page boundaries).
+	idx := -1
+	for i := range p.streams {
+		s := &p.streams[i]
+		if s.valid && (s.page == page || s.page+1 == page || s.page == page+1) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		// Allocate the LRU entry.
+		idx = 0
+		oldest := ^uint64(0)
+		for i := range p.streams {
+			if !p.streams[i].valid {
+				idx = i
+				break
+			}
+			if p.streams[i].lru < oldest {
+				idx, oldest = i, p.streams[i].lru
+			}
+		}
+		p.streams[idx] = stream{page: page, last: line, valid: true, lru: p.clock}
+		return nil
+	}
+
+	s := &p.streams[idx]
+	s.lru = p.clock
+	delta := line - s.last
+	if delta == 0 {
+		return nil
+	}
+	dir := int64(1)
+	if delta < 0 {
+		dir = -1
+	}
+	if s.dir == dir {
+		if s.conf < p.cfg.TrainThreshold {
+			s.conf++
+		}
+	} else {
+		s.dir = dir
+		s.conf = 1
+	}
+	s.last = line
+	s.page = page
+	if s.conf < p.cfg.TrainThreshold {
+		return nil
+	}
+	out := make([]uint64, 0, p.cfg.Degree)
+	for d := 1; d <= p.cfg.Degree; d++ {
+		target := line + dir*int64(d)
+		if target < 0 {
+			break
+		}
+		out = append(out, uint64(target)*trace.LineSize)
+	}
+	p.Issued += uint64(len(out))
+	return out
+}

@@ -1,0 +1,76 @@
+package prefetch
+
+import (
+	"testing"
+
+	"pdp/internal/trace"
+)
+
+func TestSequentialStreamTrains(t *testing.T) {
+	p := New(Config{Degree: 2})
+	var issued []uint64
+	for i := 0; i < 10; i++ {
+		issued = p.Observe(trace.Access{Addr: uint64(i) * trace.LineSize})
+	}
+	if len(issued) != 2 {
+		t.Fatalf("trained stream issued %d prefetches, want 2", len(issued))
+	}
+	// Prefetches are the next lines ahead.
+	if issued[0] != 10*trace.LineSize || issued[1] != 11*trace.LineSize {
+		t.Fatalf("prefetch targets %v, want next lines", issued)
+	}
+	if p.Issued == 0 {
+		t.Fatal("Issued counter not updated")
+	}
+}
+
+func TestDescendingStreamTrains(t *testing.T) {
+	p := New(Config{Degree: 1})
+	var issued []uint64
+	for i := 100; i > 90; i-- {
+		issued = p.Observe(trace.Access{Addr: uint64(i) * trace.LineSize})
+	}
+	if len(issued) != 1 || issued[0] != 90*trace.LineSize {
+		t.Fatalf("descending prefetch %v, want line 90", issued)
+	}
+}
+
+func TestRandomAccessesDoNotTrain(t *testing.T) {
+	p := New(Config{})
+	rng := trace.NewRNG(5)
+	total := 0
+	for i := 0; i < 1000; i++ {
+		// Far-apart random pages: no stream forms.
+		a := uint64(rng.Intn(1<<20)) << 16
+		total += len(p.Observe(trace.Access{Addr: a}))
+	}
+	if total > 20 {
+		t.Fatalf("random traffic issued %d prefetches, want ~none", total)
+	}
+}
+
+func TestStreamTableEviction(t *testing.T) {
+	p := New(Config{Streams: 2, Degree: 1})
+	// Train stream A.
+	for i := 0; i < 5; i++ {
+		p.Observe(trace.Access{Addr: uint64(i) * trace.LineSize})
+	}
+	// Two newer streams on distant pages evict A.
+	for i := 0; i < 3; i++ {
+		p.Observe(trace.Access{Addr: 1<<30 + uint64(i)*trace.LineSize})
+		p.Observe(trace.Access{Addr: 1<<40 + uint64(i)*trace.LineSize})
+	}
+	// A's next access re-allocates (no immediate prefetch).
+	if got := p.Observe(trace.Access{Addr: 5 * trace.LineSize}); len(got) != 0 {
+		t.Fatalf("evicted stream should retrain, got %v", got)
+	}
+}
+
+func TestRepeatedSameLineNoPrefetch(t *testing.T) {
+	p := New(Config{})
+	for i := 0; i < 10; i++ {
+		if got := p.Observe(trace.Access{Addr: 0x1000}); len(got) != 0 {
+			t.Fatalf("same-line accesses must not prefetch, got %v", got)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package rrip
+
+import (
+	"pdp/internal/cache"
+	"pdp/internal/trace"
+)
+
+// SHiP is Signature-based Hit Prediction (Wu et al., MICRO 2011) with PC
+// signatures — the insertion-classification approach the PDP paper
+// discusses in Sec. 6.3/7 as related to its proposed per-class PDs. Each
+// line carries the signature of the access that filled it and an outcome
+// bit; a table of saturating counters (SHCT) learns whether a signature's
+// fills are re-referenced. Fills whose signature never hits are inserted
+// with a distant re-reference prediction (RRPV = 3), others long (RRPV = 2).
+type SHiP struct {
+	cache.NopPolicy
+	base
+	ways    int
+	shct    []uint8 // 3-bit saturating counters
+	sig     []uint16
+	outcome []bool
+}
+
+var _ cache.Policy = (*SHiP)(nil)
+
+// SHCTSize is the signature history counter table size (16K entries).
+const SHCTSize = 1 << 14
+
+// NewSHiP builds a SHiP-PC policy.
+func NewSHiP(sets, ways int) *SHiP {
+	p := &SHiP{
+		base:    newBase(sets, ways),
+		ways:    ways,
+		shct:    make([]uint8, SHCTSize),
+		sig:     make([]uint16, sets*ways),
+		outcome: make([]bool, sets*ways),
+	}
+	// Optimistic start: signatures begin weakly re-referenced so new code
+	// paths are not penalized before any evidence.
+	for i := range p.shct {
+		p.shct[i] = 1
+	}
+	return p
+}
+
+// Name implements cache.Policy.
+func (p *SHiP) Name() string { return "SHiP" }
+
+// signature folds a PC into the 14-bit SHCT index.
+func signature(pc uint64) uint16 {
+	x := pc ^ pc>>14 ^ pc>>28 ^ pc>>42
+	return uint16(x) & (SHCTSize - 1)
+}
+
+// Hit implements cache.Policy: promote, mark the outcome, and train the
+// filling signature as re-referenced.
+func (p *SHiP) Hit(set, way int, _ trace.Access) {
+	p.hit(set, way)
+	i := set*p.ways + way
+	if !p.outcome[i] {
+		p.outcome[i] = true
+		if s := p.sig[i]; p.shct[s] < 7 {
+			p.shct[s]++
+		}
+	}
+}
+
+// Victim implements cache.Policy.
+func (p *SHiP) Victim(set int, _ trace.Access) (int, bool) {
+	return p.victim(set), false
+}
+
+// Insert implements cache.Policy.
+func (p *SHiP) Insert(set, way int, acc trace.Access) {
+	i := set*p.ways + way
+	s := signature(acc.PC)
+	p.sig[i] = s
+	p.outcome[i] = false
+	if p.shct[s] == 0 {
+		p.insertDistant(set, way)
+	} else {
+		p.insertLong(set, way)
+	}
+}
+
+// Evict implements cache.Policy: a line that dies unreferenced trains its
+// filling signature down.
+func (p *SHiP) Evict(set, way int) {
+	i := set*p.ways + way
+	if !p.outcome[i] {
+		if s := p.sig[i]; p.shct[s] > 0 {
+			p.shct[s]--
+		}
+	}
+}
+
+// Predicted reports whether a PC's fills are currently predicted to be
+// re-referenced (testing).
+func (p *SHiP) Predicted(pc uint64) bool { return p.shct[signature(pc)] > 0 }

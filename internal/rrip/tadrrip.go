@@ -1,0 +1,121 @@
+package rrip
+
+import (
+	"pdp/internal/cache"
+	"pdp/internal/trace"
+)
+
+// TADRRIP is thread-aware DRRIP (Jaleel et al.): every thread duels SRRIP
+// against BRRIP with its own PSEL counter and its own leader sets. In
+// thread t's leader sets, only lines inserted by t follow the dedicated
+// policy; all other insertions follow the inserting thread's current
+// winner. It is the baseline of the PDP paper's multi-core evaluation.
+type TADRRIP struct {
+	cache.NopPolicy
+	base
+	threads int
+	eps     float64
+	rng     *trace.RNG
+
+	psel    []int
+	pselMax int
+	owner   []int16 // per set: thread owning the leader role, -1 follower
+	roleOf  []int8  // 0 = SRRIP leader, 1 = BRRIP leader
+}
+
+var _ cache.Policy = (*TADRRIP)(nil)
+
+// NewTADRRIP builds a thread-aware DRRIP policy for `threads` threads.
+func NewTADRRIP(sets, ways, threads int, eps float64, seed uint64) *TADRRIP {
+	if threads < 1 {
+		threads = 1
+	}
+	p := &TADRRIP{
+		base:    newBase(sets, ways),
+		threads: threads,
+		eps:     eps,
+		rng:     trace.NewRNG(seed),
+		psel:    make([]int, threads),
+		pselMax: 1<<10 - 1,
+		owner:   make([]int16, sets),
+		roleOf:  make([]int8, sets),
+	}
+	for s := range p.owner {
+		p.owner[s] = -1
+	}
+	for t := range p.psel {
+		p.psel[t] = p.pselMax / 2 // midpoint with winner() == 0 initially
+	}
+	// Leader assignment: up to 32 leader sets per thread per policy,
+	// interleaved across the index space so threads' constituencies are
+	// disjoint and spread out.
+	leaders := 32
+	for 2*leaders*threads > sets && leaders > 1 {
+		leaders /= 2
+	}
+	slots := 2 * leaders * threads
+	if slots > sets {
+		slots = sets
+	}
+	stride := sets / slots
+	for i := 0; i < slots; i++ {
+		set := i * stride
+		p.owner[set] = int16(i % threads)
+		p.roleOf[set] = int8((i / threads) % 2)
+	}
+	return p
+}
+
+// Name implements cache.Policy.
+func (p *TADRRIP) Name() string { return "TA-DRRIP" }
+
+// LeaderRole returns (owner thread, role) for a set; owner -1 means
+// follower (testing).
+func (p *TADRRIP) LeaderRole(set int) (int, int) {
+	return int(p.owner[set]), int(p.roleOf[set])
+}
+
+// winner returns thread t's current policy: 0 SRRIP, 1 BRRIP.
+func (p *TADRRIP) winner(t int) int {
+	if p.psel[t] > p.pselMax/2 {
+		return 1
+	}
+	return 0
+}
+
+// Hit implements cache.Policy.
+func (p *TADRRIP) Hit(set, way int, _ trace.Access) { p.hit(set, way) }
+
+// Victim implements cache.Policy.
+func (p *TADRRIP) Victim(set int, _ trace.Access) (int, bool) { return p.victim(set), false }
+
+// Insert implements cache.Policy.
+func (p *TADRRIP) Insert(set, way int, acc trace.Access) {
+	t := acc.Thread
+	if t < 0 || t >= p.threads {
+		t = 0
+	}
+	pol := p.winner(t)
+	if int(p.owner[set]) == t {
+		pol = int(p.roleOf[set])
+		if !acc.WB {
+			// A miss in the thread's own leader set trains its PSEL.
+			if pol == 0 {
+				if p.psel[t] < p.pselMax {
+					p.psel[t]++
+				}
+			} else if p.psel[t] > 0 {
+				p.psel[t]--
+			}
+		}
+	}
+	if pol == 0 {
+		p.insertLong(set, way)
+		return
+	}
+	if p.rng.Bernoulli(p.eps) {
+		p.insertLong(set, way)
+	} else {
+		p.insertDistant(set, way)
+	}
+}

@@ -1,0 +1,599 @@
+package trace
+
+import "fmt"
+
+// LineSize is the cache line size in bytes used throughout the repository
+// (paper Table 1: 64B lines).
+const LineSize = 64
+
+// Peak is one component of a target reuse-distance distribution: a fraction
+// Weight of accesses should land at set-level reuse distance Dist.
+type Peak struct {
+	Dist   int
+	Weight float64
+}
+
+// RDDSpec describes the target set-level reuse-distance distribution of an
+// RDDGen stream. Weights of Peaks plus Fresh plus Far should sum to at most
+// 1; any remainder is assigned to Fresh.
+type RDDSpec struct {
+	// Peaks lists finite reuse distances with their probabilities.
+	Peaks []Peak
+	// Fresh is the probability of touching a never-seen line (infinite RD).
+	Fresh float64
+	// Far is the probability of reusing a line whose last use was long ago
+	// (beyond the maximum peak distance; appears as a "long line").
+	Far float64
+	// FarMin is the minimum set-level distance of a Far reuse. Zero selects
+	// a default beyond the paper's d_max of 256, so Far mass registers as
+	// "long lines" in any d_max=256 RDD.
+	FarMin int
+	// Spread is a uniform +/- jitter (in set accesses) applied around each
+	// peak distance; 0 gives exact distances.
+	Spread int
+	// WriteFrac is the fraction of accesses that are stores.
+	WriteFrac float64
+}
+
+func (s RDDSpec) farMin() int {
+	if s.FarMin > 0 {
+		return s.FarMin
+	}
+	if m := 4 * s.maxDist(); m > 320 {
+		return m
+	}
+	return 320
+}
+
+func (s RDDSpec) maxDist() int {
+	m := 0
+	for _, p := range s.Peaks {
+		if p.Dist > m {
+			m = p.Dist
+		}
+	}
+	return m + s.Spread
+}
+
+// Validate reports whether the spec is self-consistent.
+func (s RDDSpec) Validate() error {
+	total := s.Fresh + s.Far
+	for _, p := range s.Peaks {
+		if p.Dist <= 0 {
+			return fmt.Errorf("trace: peak distance %d must be positive", p.Dist)
+		}
+		if p.Weight < 0 {
+			return fmt.Errorf("trace: peak weight %v must be non-negative", p.Weight)
+		}
+		total += p.Weight
+	}
+	if total > 1.0001 {
+		return fmt.Errorf("trace: spec weights sum to %v > 1", total)
+	}
+	if s.WriteFrac < 0 || s.WriteFrac > 1 {
+		return fmt.Errorf("trace: WriteFrac %v out of range", s.WriteFrac)
+	}
+	return nil
+}
+
+// rddSet holds per-set generation state for RDDGen.
+type rddSet struct {
+	hist    []uint64         // ring buffer of the last len(hist) line addresses
+	lastPos map[uint64]int64 // most recent access index per live address
+	count   int64            // accesses to this set so far
+	retired []uint64         // ring of old addresses usable for "far" reuse
+	retPos  int
+}
+
+// RDDGen generates accesses whose set-level reuse distances follow an
+// RDDSpec. It models the set-index mapping of the target cache directly, so
+// the distances it produces are exactly the quantity the PDP paper's RD
+// sampler measures.
+type RDDGen struct {
+	name    string
+	spec    RDDSpec
+	sets    int
+	base    uint64
+	seed    uint64
+	rng     *RNG
+	state   []rddSet
+	nextTag uint64
+	histLen int
+	retCap  int
+	farMinD int
+	// cumulative weights for sampling: peaks..., far, fresh(remainder)
+	cumW   []float64
+	pcPeak []uint64 // one PC group per peak
+	pcNew  uint64   // PC used by fresh (streaming) accesses
+	pcFar  uint64
+}
+
+// NewRDDGen builds a generator for the given number of target cache sets.
+// base disambiguates the address space when several generators are mixed;
+// seed fixes the pseudo-random stream.
+func NewRDDGen(name string, spec RDDSpec, sets int, base, seed uint64) *RDDGen {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	if sets <= 0 {
+		panic("trace: sets must be positive")
+	}
+	g := &RDDGen{
+		name:    name,
+		spec:    spec,
+		sets:    sets,
+		base:    base << 40,
+		seed:    seed,
+		histLen: spec.maxDist() + 16,
+		retCap:  512,
+		farMinD: spec.farMin(),
+	}
+	cum := 0.0
+	for i, p := range spec.Peaks {
+		cum += p.Weight
+		g.cumW = append(g.cumW, cum)
+		g.pcPeak = append(g.pcPeak, 0x1000+uint64(i)*0x40)
+	}
+	cum += spec.Far
+	g.cumW = append(g.cumW, cum) // far bucket
+	g.pcNew = 0x9000
+	g.pcFar = 0xA000
+	g.Reset()
+	return g
+}
+
+// Name implements Generator.
+func (g *RDDGen) Name() string { return g.name }
+
+// Reset implements Generator.
+func (g *RDDGen) Reset() {
+	g.rng = NewRNG(g.seed)
+	g.state = make([]rddSet, g.sets)
+	for i := range g.state {
+		g.state[i] = rddSet{
+			hist:    make([]uint64, g.histLen),
+			lastPos: make(map[uint64]int64, g.histLen+g.retCap),
+			retired: make([]uint64, 0, g.retCap),
+		}
+	}
+	g.nextTag = 1
+}
+
+// freshAddr returns a line address never used before that maps to set s.
+func (g *RDDGen) freshAddr(s int) uint64 {
+	a := g.base | (g.nextTag*uint64(g.sets)+uint64(s))*LineSize
+	g.nextTag++
+	return a
+}
+
+// Next implements Generator.
+func (g *RDDGen) Next() Access {
+	s := g.rng.Intn(g.sets)
+	st := &g.state[s]
+
+	u := g.rng.Float64()
+	var addr uint64
+	pc := g.pcNew
+	nPeaks := len(g.spec.Peaks)
+	chosen := -1 // -1 fresh, [0..nPeaks) peak i, nPeaks far
+	for i, c := range g.cumW {
+		if u < c {
+			chosen = i
+			break
+		}
+	}
+	switch {
+	case chosen >= 0 && chosen < nPeaks:
+		d := g.spec.Peaks[chosen].Dist
+		if g.spec.Spread > 0 {
+			d += g.rng.Intn(2*g.spec.Spread+1) - g.spec.Spread
+			if d < 1 {
+				d = 1
+			}
+		}
+		addr = g.reuseAt(st, int64(d))
+		pc = g.pcPeak[chosen]
+	case chosen == nPeaks: // far reuse
+		for try := 0; try < 4 && len(st.retired) > 0; try++ {
+			cand := st.retired[g.rng.Intn(len(st.retired))]
+			if p, ok := st.lastPos[cand]; ok && st.count-p >= int64(g.farMinD) {
+				addr = cand
+				pc = g.pcFar
+				break
+			}
+		}
+	}
+	if addr == 0 {
+		addr = g.freshAddr(s)
+		pc = g.pcNew
+	}
+	g.record(st, addr)
+	return Access{
+		Addr:  addr,
+		PC:    pc,
+		Write: g.rng.Bernoulli(g.spec.WriteFrac),
+	}
+}
+
+// reuseAt returns the address whose most recent use in st was exactly d
+// accesses ago, or 0 if no such address exists (then the caller falls back
+// to a fresh line, which only adds mass to the "fresh" bucket).
+func (g *RDDGen) reuseAt(st *rddSet, d int64) uint64 {
+	// Try the exact distance, then wiggle outwards a little: an address seen
+	// at distance d may have been re-touched since (its RD would be wrong),
+	// in which case a neighbor usually works.
+	for _, delta := range []int64{0, 1, -1, 2, -2, 3, -3} {
+		dd := d + delta
+		idx := st.count - dd
+		if dd < 1 || idx < 0 || dd >= int64(g.histLen) {
+			continue
+		}
+		cand := st.hist[idx%int64(g.histLen)]
+		if cand == 0 {
+			continue
+		}
+		if p, ok := st.lastPos[cand]; ok && p == idx {
+			return cand
+		}
+	}
+	return 0
+}
+
+// record appends addr to the set's history, retiring whatever falls out of
+// the window so that "far" reuse candidates exist and the map stays bounded.
+func (g *RDDGen) record(st *rddSet, addr uint64) {
+	slot := st.count % int64(g.histLen)
+	out := st.hist[slot]
+	if out != 0 {
+		if p, ok := st.lastPos[out]; ok && p == st.count-int64(g.histLen) {
+			// Most recent use of `out` is leaving the window.
+			if len(st.retired) < g.retCap {
+				st.retired = append(st.retired, out)
+			} else {
+				old := st.retired[st.retPos]
+				if q, ok2 := st.lastPos[old]; ok2 && q <= st.count-int64(g.histLen) {
+					delete(st.lastPos, old)
+				}
+				st.retired[st.retPos] = out
+				st.retPos = (st.retPos + 1) % g.retCap
+			}
+		}
+	}
+	st.hist[slot] = addr
+	st.lastPos[addr] = st.count
+	st.count++
+}
+
+// LoopGen cyclically sweeps a working set of Lines cache lines with unit
+// line stride. With Lines = k*sets the set-level reuse distance is k for
+// every line: the classic thrashing (k > associativity) or LRU-friendly
+// (k <= associativity) pattern.
+type LoopGen struct {
+	name  string
+	lines uint64
+	base  uint64
+	pos   uint64
+	pc    uint64
+	wfrac float64
+	seed  uint64
+	rng   *RNG
+}
+
+// NewLoopGen builds a cyclic sweep over `lines` cache lines.
+func NewLoopGen(name string, lines int, base, seed uint64) *LoopGen {
+	if lines <= 0 {
+		panic("trace: LoopGen needs a positive working set")
+	}
+	g := &LoopGen{name: name, lines: uint64(lines), base: base << 40, pc: 0x2000, seed: seed}
+	g.Reset()
+	return g
+}
+
+// Name implements Generator.
+func (g *LoopGen) Name() string { return g.name }
+
+// Reset implements Generator.
+func (g *LoopGen) Reset() { g.pos = 0; g.rng = NewRNG(g.seed) }
+
+// Next implements Generator.
+func (g *LoopGen) Next() Access {
+	a := Access{
+		Addr:  g.base | (g.pos * LineSize),
+		PC:    g.pc,
+		Write: g.rng.Bernoulli(g.wfrac),
+	}
+	g.pos = (g.pos + 1) % g.lines
+	return a
+}
+
+// StreamGen emits a pure streaming reference pattern: monotonically
+// increasing line addresses that are never reused.
+type StreamGen struct {
+	name string
+	base uint64
+	pos  uint64
+	pc   uint64
+}
+
+// NewStreamGen builds a never-reusing sequential stream.
+func NewStreamGen(name string, base uint64) *StreamGen {
+	return &StreamGen{name: name, base: base << 40, pc: 0x3000}
+}
+
+// Name implements Generator.
+func (g *StreamGen) Name() string { return g.name }
+
+// Reset implements Generator.
+func (g *StreamGen) Reset() { g.pos = 0 }
+
+// Next implements Generator.
+func (g *StreamGen) Next() Access {
+	a := Access{Addr: g.base | (g.pos * LineSize), PC: g.pc}
+	g.pos++
+	return a
+}
+
+// PointerChaseGen performs a pseudo-random walk over a working set of Lines
+// lines, approximating dependent pointer chasing (429.mcf-like): reuse
+// distances are spread widely, mostly far beyond any protecting distance.
+type PointerChaseGen struct {
+	name  string
+	lines int
+	base  uint64
+	seed  uint64
+	rng   *RNG
+	perm  []uint32
+	pos   uint32
+	pc    uint64
+}
+
+// NewPointerChaseGen builds a random-permutation walk over `lines` lines.
+func NewPointerChaseGen(name string, lines int, base, seed uint64) *PointerChaseGen {
+	if lines <= 1 {
+		panic("trace: PointerChaseGen needs at least 2 lines")
+	}
+	g := &PointerChaseGen{name: name, lines: lines, base: base << 40, seed: seed, pc: 0x4000}
+	g.Reset()
+	return g
+}
+
+// Name implements Generator.
+func (g *PointerChaseGen) Name() string { return g.name }
+
+// Reset implements Generator.
+func (g *PointerChaseGen) Reset() {
+	g.rng = NewRNG(g.seed)
+	g.perm = make([]uint32, g.lines)
+	for i := range g.perm {
+		g.perm[i] = uint32(i)
+	}
+	// Sattolo's algorithm: a single cycle through all lines.
+	for i := g.lines - 1; i > 0; i-- {
+		j := g.rng.Intn(i)
+		g.perm[i], g.perm[j] = g.perm[j], g.perm[i]
+	}
+	g.pos = 0
+}
+
+// Next implements Generator.
+func (g *PointerChaseGen) Next() Access {
+	a := Access{Addr: g.base | uint64(g.pos)*LineSize, PC: g.pc}
+	g.pos = g.perm[g.pos]
+	return a
+}
+
+// MixGen probabilistically interleaves child generators with fixed weights.
+// Children must use distinct address bases.
+type MixGen struct {
+	name    string
+	gens    []Generator
+	weights []float64
+	cum     []float64
+	seed    uint64
+	rng     *RNG
+}
+
+// NewMixGen interleaves gens with the given weights (need not be normalized).
+func NewMixGen(name string, seed uint64, gens []Generator, weights []float64) *MixGen {
+	if len(gens) == 0 || len(gens) != len(weights) {
+		panic("trace: MixGen needs matching gens and weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("trace: MixGen weight must be non-negative")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("trace: MixGen weights sum to zero")
+	}
+	g := &MixGen{name: name, gens: gens, weights: weights, seed: seed}
+	cum := 0.0
+	for _, w := range weights {
+		cum += w / total
+		g.cum = append(g.cum, cum)
+	}
+	g.Reset()
+	return g
+}
+
+// Name implements Generator.
+func (g *MixGen) Name() string { return g.name }
+
+// Reset implements Generator.
+func (g *MixGen) Reset() {
+	g.rng = NewRNG(g.seed)
+	for _, c := range g.gens {
+		c.Reset()
+	}
+}
+
+// Next implements Generator.
+func (g *MixGen) Next() Access {
+	u := g.rng.Float64()
+	for i, c := range g.cum {
+		if u < c {
+			return g.gens[i].Next()
+		}
+	}
+	return g.gens[len(g.gens)-1].Next()
+}
+
+// Segment is one phase of a PhasedGen: Count accesses drawn from Gen.
+type Segment struct {
+	Gen   Generator
+	Count uint64
+}
+
+// PhasedGen runs a deterministic schedule of segments, looping back to the
+// first segment when the schedule is exhausted. It models program phase
+// changes (paper Sec. 6.4).
+type PhasedGen struct {
+	name string
+	segs []Segment
+	idx  int
+	used uint64
+}
+
+// NewPhasedGen builds a looping phase schedule.
+func NewPhasedGen(name string, segs []Segment) *PhasedGen {
+	if len(segs) == 0 {
+		panic("trace: PhasedGen needs segments")
+	}
+	for _, s := range segs {
+		if s.Count == 0 {
+			panic("trace: PhasedGen segment with zero count")
+		}
+	}
+	return &PhasedGen{name: name, segs: segs}
+}
+
+// Name implements Generator.
+func (g *PhasedGen) Name() string { return g.name }
+
+// Reset implements Generator.
+func (g *PhasedGen) Reset() {
+	g.idx = 0
+	g.used = 0
+	for _, s := range g.segs {
+		s.Gen.Reset()
+	}
+}
+
+// Next implements Generator.
+func (g *PhasedGen) Next() Access {
+	if g.used >= g.segs[g.idx].Count {
+		g.used = 0
+		g.idx = (g.idx + 1) % len(g.segs)
+		if g.idx == 0 {
+			// Restart the loop with fresh child state for reproducibility.
+			for _, s := range g.segs {
+				s.Gen.Reset()
+			}
+		}
+	}
+	g.used++
+	return g.segs[g.idx].Gen.Next()
+}
+
+// Collect draws n accesses from g into a slice (testing helper).
+func Collect(g Generator, n int) []Access {
+	out := make([]Access, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// NoiseGen emits never-reused lines at uniformly random sets: streaming
+// traffic without the sequential determinism of StreamGen. Mixing it into a
+// workload gives per-set arrival counts (and hence reuse distances of the
+// other components) a realistic spread.
+type NoiseGen struct {
+	name string
+	base uint64
+	seed uint64
+	rng  *RNG
+	pc   uint64
+}
+
+// NewNoiseGen builds a random-set streaming generator.
+func NewNoiseGen(name string, base, seed uint64) *NoiseGen {
+	g := &NoiseGen{name: name, base: base << 40, seed: seed, pc: 0x5000}
+	g.Reset()
+	return g
+}
+
+// Name implements Generator.
+func (g *NoiseGen) Name() string { return g.name }
+
+// Reset implements Generator.
+func (g *NoiseGen) Reset() { g.rng = NewRNG(g.seed) }
+
+// Next implements Generator. Addresses are drawn from a 2^32-line region,
+// so accidental reuse is negligible.
+func (g *NoiseGen) Next() Access {
+	line := g.rng.Uint64() & (1<<32 - 1)
+	return Access{Addr: g.base | line*LineSize, PC: g.pc}
+}
+
+// DriftLoopGen cyclically sweeps a working set of Lines cache lines, but
+// after every full cycle a fraction of the slots is replaced with fresh
+// lines (the old line is never referenced again). This models slowly
+// drifting working sets: policies that retain a stale subset (e.g. BIP's
+// sticky MRU insertions) accumulate dead lines, while protection with a
+// bounded distance expires them. The set mapping of each slot is stable
+// across generations, so the reuse-distance structure is unchanged.
+type DriftLoopGen struct {
+	name  string
+	lines uint64
+	drift float64 // fraction of slots replaced per cycle
+	base  uint64
+	seed  uint64
+	rng   *RNG
+	gen   []uint32 // generation per slot
+	pos   uint64
+	pc    uint64
+}
+
+// NewDriftLoopGen builds a drifting cyclic sweep.
+func NewDriftLoopGen(name string, lines int, drift float64, base, seed uint64) *DriftLoopGen {
+	if lines <= 0 {
+		panic("trace: DriftLoopGen needs a positive working set")
+	}
+	if drift < 0 || drift > 1 {
+		panic("trace: DriftLoopGen drift must be in [0,1]")
+	}
+	g := &DriftLoopGen{
+		name: name, lines: uint64(lines), drift: drift,
+		base: base << 40, seed: seed, pc: 0x6000,
+	}
+	g.Reset()
+	return g
+}
+
+// Name implements Generator.
+func (g *DriftLoopGen) Name() string { return g.name }
+
+// Reset implements Generator.
+func (g *DriftLoopGen) Reset() {
+	g.rng = NewRNG(g.seed)
+	g.gen = make([]uint32, g.lines)
+	g.pos = 0
+}
+
+// Next implements Generator.
+func (g *DriftLoopGen) Next() Access {
+	slot := g.pos
+	addr := g.base | (uint64(g.gen[slot])*g.lines+slot)*LineSize
+	g.pos++
+	if g.pos == g.lines {
+		g.pos = 0
+		n := int(g.drift * float64(g.lines))
+		for i := 0; i < n; i++ {
+			g.gen[g.rng.Intn(int(g.lines))]++
+		}
+	}
+	return Access{Addr: addr, PC: g.pc}
+}

@@ -1,0 +1,39 @@
+package tracefile
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReader ensures arbitrary bytes never crash the decoder: every input
+// either decodes cleanly or returns an error.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid stream and a few corruptions.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(mkAccess(0x1000, 0x40))
+	w.Write(mkAccess(0x2000, 0x44))
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("PDPT"))
+	f.Add([]byte{})
+	f.Add(append(append([]byte{}, buf.Bytes()...), 0xFF, 0xFF))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10000; i++ {
+			_, err := r.Read()
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"testing"
+
+	"pdp/internal/sampler"
+	"pdp/internal/trace"
+)
+
+func TestSuiteShape(t *testing.T) {
+	s := Suite()
+	if len(s) != 16 {
+		t.Fatalf("suite has %d benchmarks, want 16", len(s))
+	}
+	seen := map[string]bool{}
+	for _, b := range s {
+		if seen[b.Name] {
+			t.Errorf("duplicate benchmark %s", b.Name)
+		}
+		seen[b.Name] = true
+		if b.APKI <= 0 {
+			t.Errorf("%s: APKI %v must be positive", b.Name, b.APKI)
+		}
+		if b.Build == nil {
+			t.Errorf("%s: nil Build", b.Name)
+		}
+	}
+	if !seen["483.xalancbmk.3"] {
+		t.Error("suite must include xalancbmk window 3")
+	}
+}
+
+func TestAllAndByName(t *testing.T) {
+	if got := len(All()); got != 18 {
+		t.Fatalf("All() has %d entries, want 18 (16 + 2 extra windows)", got)
+	}
+	for _, name := range []string{"436.cactusADM", "483.xalancbmk.1", "429.mcf.phased"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) not found", name)
+		}
+	}
+	if _, ok := ByName("not-a-benchmark"); ok {
+		t.Error("ByName must reject unknown names")
+	}
+}
+
+// measureRDD runs n accesses of a generator through a full sampler for an
+// LLC with `sets` sets and returns the counter array.
+func measureRDD(g trace.Generator, sets, n int) *sampler.CounterArray {
+	s := sampler.New(sampler.FullConfig(sets, 1))
+	for i := 0; i < n; i++ {
+		a := g.Next()
+		set := int(a.Addr / trace.LineSize % uint64(sets))
+		s.Access(set, a.Addr)
+	}
+	return s.Array()
+}
+
+func massNear(arr *sampler.CounterArray, center, slack int) float64 {
+	var in, total uint64
+	for k := 0; k < arr.K(); k++ {
+		c := uint64(arr.Count(k))
+		total += c
+		if d := arr.Dist(k); d >= center-slack && d <= center+slack {
+			in += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(in) / float64(total)
+}
+
+func TestCactusADMPeakNear68(t *testing.T) {
+	b, _ := ByName("436.cactusADM")
+	const sets = 256
+	arr := measureRDD(b.Generator(sets, 1, 42), sets, 400000)
+	if m := massNear(arr, 68, 12); m < 0.5 {
+		t.Fatalf("cactusADM reuse mass near 68 is %.2f, want dominant peak", m)
+	}
+}
+
+func TestAstarIsLRUFriendly(t *testing.T) {
+	b, _ := ByName("473.astar")
+	const sets = 256
+	arr := measureRDD(b.Generator(sets, 1, 42), sets, 300000)
+	var within, total uint64
+	for k := 0; k < arr.K(); k++ {
+		c := uint64(arr.Count(k))
+		total += c
+		if arr.Dist(k) <= 16 {
+			within += c
+		}
+	}
+	if total == 0 || float64(within)/float64(total) < 0.95 {
+		t.Fatalf("astar reuse within W=16: %d/%d, want nearly all", within, total)
+	}
+}
+
+func TestStreamingBenchmarksHaveNoReuse(t *testing.T) {
+	for _, name := range []string{"433.milc", "470.lbm"} {
+		b, _ := ByName(name)
+		const sets = 128
+		arr := measureRDD(b.Generator(sets, 1, 42), sets, 100000)
+		for k := 0; k < arr.K(); k++ {
+			if arr.Count(k) != 0 {
+				t.Errorf("%s: reuse at distance %d in a streaming model", name, arr.Dist(k))
+				break
+			}
+		}
+	}
+}
+
+func TestXalancWindowsDiffer(t *testing.T) {
+	const sets = 256
+	var peaks []int
+	for _, b := range XalancWindows() {
+		arr := measureRDD(b.Generator(sets, 1, 42), sets, 300000)
+		best, bestC := 0, uint32(0)
+		for k := 0; k < arr.K(); k++ {
+			if arr.Count(k) > bestC {
+				best, bestC = arr.Dist(k), arr.Count(k)
+			}
+		}
+		peaks = append(peaks, best)
+	}
+	if peaks[0] == peaks[1] && peaks[1] == peaks[2] {
+		t.Fatalf("xalancbmk windows all peak at %d; Fig. 5b needs differing RDDs", peaks[0])
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, b := range All() {
+		g1 := b.Generator(64, 1, 7)
+		g2 := b.Generator(64, 1, 7)
+		for i := 0; i < 1000; i++ {
+			if g1.Next() != g2.Next() {
+				t.Errorf("%s: generator not deterministic", b.Name)
+				break
+			}
+		}
+	}
+}
+
+func TestBaseSeparatesAddressSpaces(t *testing.T) {
+	b, _ := ByName("436.cactusADM")
+	g1 := b.Generator(64, 1, 7)
+	g2 := b.Generator(64, 2, 7)
+	seen := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		seen[g1.Next().Addr] = true
+	}
+	for i := 0; i < 5000; i++ {
+		if seen[g2.Next().Addr] {
+			t.Fatal("two bases produced overlapping addresses")
+		}
+	}
+}
+
+func TestPhasedBenchmarksChangeRDD(t *testing.T) {
+	b, _ := ByName("482.sphinx3.phased")
+	const sets = 128
+	g := b.Generator(sets, 1, 7)
+	arr1 := measureRDD(g, sets, 300000) // inside phase 1 (400K segment)
+	// Skip to well inside phase 2.
+	for i := 0; i < 200000; i++ {
+		g.Next()
+	}
+	arr2 := measureRDD(g, sets, 200000)
+	peak := func(arr *sampler.CounterArray) int {
+		best, bestC := 0, uint32(0)
+		for k := 0; k < arr.K(); k++ {
+			if arr.Count(k) > bestC {
+				best, bestC = arr.Dist(k), arr.Count(k)
+			}
+		}
+		return best
+	}
+	p1, p2 := peak(arr1), peak(arr2)
+	if abs(p1-p2) < 20 {
+		t.Fatalf("phased peaks %d vs %d: phases must move the RDD", p1, p2)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestMixes(t *testing.T) {
+	m4 := Mixes(4, 80, 1)
+	if len(m4) != 80 {
+		t.Fatalf("got %d mixes, want 80", len(m4))
+	}
+	for _, m := range m4 {
+		if len(m.Names) != 4 || len(m.Benchs) != 4 {
+			t.Fatalf("mix %d has wrong arity", m.ID)
+		}
+		for i, n := range m.Names {
+			if m.Benchs[i].Name != n {
+				t.Fatalf("mix %d: name mismatch", m.ID)
+			}
+		}
+	}
+	// Deterministic for a given seed, different across seeds.
+	again := Mixes(4, 80, 1)
+	other := Mixes(4, 80, 2)
+	same, diff := true, false
+	for i := range m4 {
+		for c := range m4[i].Names {
+			if m4[i].Names[c] != again[i].Names[c] {
+				same = false
+			}
+			if m4[i].Names[c] != other[i].Names[c] {
+				diff = true
+			}
+		}
+	}
+	if !same {
+		t.Error("same seed must reproduce mixes")
+	}
+	if !diff {
+		t.Error("different seeds should differ")
+	}
+}
