@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check build vet test race bench repro clean
+
+# check is the CI gate: build, vet, race-enabled tests.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Telemetry overhead guard: disabled vs attached tap on the PDP-8 hot path.
+bench:
+	$(GO) test -bench 'AccessPDP8' -benchtime 2s -count 5 -run @ .
+
+repro:
+	$(GO) run ./cmd/repro all

@@ -99,6 +99,48 @@ func BenchmarkAccessPDP8(b *testing.B) {
 	benchPolicyAccess(b, pdp.NewPDP(pdp.PDPConfig{Sets: 2048, Ways: 16, Bypass: true}), true)
 }
 
+// --- telemetry overhead guard ---
+//
+// BenchmarkAccessPDP8 above is the disabled mode: no monitor attached, the
+// cache pays a single nil check per event site. The two variants below
+// bound the cost of attaching the pipeline; compare with
+// `go test -bench 'AccessPDP8' -benchtime 2s -count 5 -run @ | benchstat`.
+// The NilSinks variant (tap attached, every sink nil) must be within noise
+// of the baseline.
+
+func benchPDP8Telemetry(b *testing.B, cfg pdp.TelemetryTapConfig) {
+	b.Helper()
+	const sets, ways = 2048, 16
+	pol := pdp.NewPDP(pdp.PDPConfig{Sets: sets, Ways: ways, Bypass: true})
+	c := pdp.NewCache(pdp.CacheConfig{
+		Name: "LLC", Sets: sets, Ways: ways, LineSize: pdp.LineSize, AllowBypass: true,
+	}, pol)
+	tap := pdp.NewTelemetryTap(c, cfg)
+	tap.ObservePolicy(pol)
+	pdp.ObservePDP(pol, cfg.Journal, cfg.EventSample)
+	c.SetMonitor(tap)
+	bench, _ := workload.ByName("436.cactusADM")
+	g := bench.Generator(sets, 1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(g.Next())
+	}
+}
+
+func BenchmarkAccessPDP8TelemetryNilSinks(b *testing.B) {
+	benchPDP8Telemetry(b, pdp.TelemetryTapConfig{})
+}
+
+func BenchmarkAccessPDP8TelemetryFull(b *testing.B) {
+	benchPDP8Telemetry(b, pdp.TelemetryTapConfig{
+		Registry:      pdp.NewTelemetryRegistry(),
+		Journal:       pdp.NewTelemetryJournal(0),
+		SnapshotEvery: 100_000,
+		EventSample:   1024,
+	})
+}
+
 func BenchmarkAccessPDPPart4(b *testing.B) {
 	benchPolicyAccess(b, pdp.NewPDPPart(pdp.PDPPartConfig{Sets: 2048, Ways: 16, Threads: 4}), true)
 }

@@ -6,11 +6,17 @@
 //
 //	mcpart -cores 4 -policy pdppart-3 -benchmarks 436.cactusADM,403.gcc,470.lbm,482.sphinx3
 //	mcpart -cores 16 -policy ta-drrip -mix 7
+//	mcpart -cores 4 -policy pdppart-3 -mix 0 -stats json \
+//	       -telemetry mix.jsonl -snapshot-every 100000
 //
 // Policies: ta-drrip, ucp, pipp, pdppart-2, pdppart-3, pdppart-8.
+//
+// With -telemetry, snapshots carry per-core occupancy and (for the
+// PD-partitioning policies) the per-thread protecting distances.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +24,7 @@ import (
 
 	"pdp/internal/experiments"
 	"pdp/internal/metrics"
+	"pdp/internal/telemetry"
 	"pdp/internal/workload"
 )
 
@@ -28,7 +35,19 @@ func main() {
 	mixID := flag.Int("mix", -1, "use the i-th seeded random mix instead of -benchmarks")
 	perThread := flag.Int("n", 400_000, "measured accesses per thread")
 	seed := flag.Uint64("seed", 42, "random seed")
+	statsFmt := flag.String("stats", "text", "stats output format: text or json")
+	telemetryOut := flag.String("telemetry", "", "write a JSONL telemetry journal to this file")
+	snapshotEvery := flag.Uint64("snapshot-every", 0, "emit a telemetry snapshot every N measured accesses (0 disables)")
+	journalSample := flag.Uint64("journal-sample", 1024, "journal 1 in N bypass/eviction events (1 = all)")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	if *statsFmt != "text" && *statsFmt != "json" {
+		fmt.Fprintf(os.Stderr, "-stats must be text or json, got %q\n", *statsFmt)
+		os.Exit(2)
+	}
 
 	var mix workload.Mix
 	switch {
@@ -61,16 +80,63 @@ func main() {
 		os.Exit(2)
 	}
 
-	res := experiments.RunMix(mix, spec, *perThread, *seed)
+	// Profiling hooks.
+	if *pprofAddr != "" {
+		if err := telemetry.ServeDebug(*pprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *cpuProfile != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+
+	// Telemetry pipeline.
+	telemetryOn := *telemetryOut != "" || *snapshotEvery > 0 || *pprofAddr != "" || *statsFmt == "json"
+	var reg *telemetry.Registry
+	var journal *telemetry.Journal
+	if telemetryOn {
+		reg = telemetry.NewRegistry()
+		reg.PublishExpvar("mcpart")
+		journal = telemetry.NewJournal(0)
+		if *telemetryOut != "" {
+			f, err := os.Create(*telemetryOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			journal.SetSink(f)
+		}
+	}
+
+	res := experiments.RunMixTelemetry(mix, spec, *perThread, *seed, experiments.TelemetryOptions{
+		Registry:      reg,
+		Journal:       journal,
+		SnapshotEvery: *snapshotEvery,
+		EventSample:   *journalSample,
+	})
 	single := make([]float64, len(mix.Benchs))
 	for t, b := range mix.Benchs {
 		single[t] = experiments.SingleIPC(b, *cores, *perThread, *seed)
 	}
 
-	fmt.Printf("policy %s, %d cores, LLC %d MB shared\n", spec.Name, *cores, 2**cores)
-	for t, b := range mix.Benchs {
-		fmt.Printf("  core %2d  %-20s IPC %.4f  (alone: %.4f)\n", t, b.Name, res.IPC[t], single[t])
+	if err := journal.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "telemetry journal: %v\n", err)
+		os.Exit(1)
 	}
+	if *memProfile != "" {
+		if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
 	w, err := metrics.WeightedIPC(res.IPC, single)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -81,7 +147,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	throughput := metrics.Throughput(res.IPC)
+
+	if *statsFmt == "json" {
+		out := struct {
+			Policy      string         `json:"policy"`
+			Cores       int            `json:"cores"`
+			Benchmarks  []string       `json:"benchmarks"`
+			IPC         []float64      `json:"ipc"`
+			SingleIPC   []float64      `json:"single_ipc"`
+			WeightedIPC float64        `json:"weighted_ipc"`
+			Throughput  float64        `json:"throughput"`
+			Fairness    float64        `json:"fairness"`
+			Metrics     map[string]any `json:"metrics,omitempty"`
+		}{
+			Policy: spec.Name, Cores: *cores, Benchmarks: mix.Names,
+			IPC: res.IPC, SingleIPC: single,
+			WeightedIPC: w, Throughput: throughput, Fairness: h,
+			Metrics: reg.Snapshot(),
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("policy %s, %d cores, LLC %d MB shared\n", spec.Name, *cores, 2**cores)
+	for t, b := range mix.Benchs {
+		fmt.Printf("  core %2d  %-20s IPC %.4f  (alone: %.4f)\n", t, b.Name, res.IPC[t], single[t])
+	}
 	fmt.Printf("weighted IPC (W) %.4f\n", w)
-	fmt.Printf("throughput   (T) %.4f\n", metrics.Throughput(res.IPC))
+	fmt.Printf("throughput   (T) %.4f\n", throughput)
 	fmt.Printf("fairness     (H) %.4f\n", h)
+	if journal != nil && *telemetryOut != "" {
+		fmt.Printf("telemetry   %d records -> %s (%d snapshot)\n",
+			journal.Total(), *telemetryOut, journal.CountKind(telemetry.KindSnapshot))
+	}
 }

@@ -4,19 +4,33 @@
 // Usage:
 //
 //	pdpsim -bench 436.cactusADM -policy pdp-8 -n 1000000
+//	pdpsim -bench 436.cactusADM -policy pdp-8 -stats json \
+//	       -telemetry run.jsonl -snapshot-every 100000
 //	pdpsim -trace cactus.pdpt -policy drrip
 //	pdpsim -list
 //
 // Policies: lru, dip, drrip, drrip:1/64, eelru, sdp, pdp-2, pdp-3, pdp-8,
 // spdp-b:<pd>, spdp-nb:<pd>.
+//
+// Observability (see README "Observability" for the JSONL schema):
+//
+//	-stats json          machine-readable run summary on stdout
+//	-telemetry FILE      JSONL event journal + time-series snapshots
+//	-snapshot-every N    snapshot cadence in measured accesses
+//	-journal-sample N    sample rate for high-frequency events
+//	-pprof ADDR          live pprof/expvar HTTP server for long runs
+//	-cpuprofile FILE     CPU profile of the run
+//	-memprofile FILE     heap profile at exit
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"pdp/internal/experiments"
+	"pdp/internal/telemetry"
 	"pdp/internal/tracefile"
 	"pdp/internal/workload"
 )
@@ -29,6 +43,13 @@ func main() {
 	n := flag.Int("n", 1_000_000, "measured LLC accesses")
 	seed := flag.Uint64("seed", 42, "random seed")
 	list := flag.Bool("list", false, "list benchmark models and exit")
+	statsFmt := flag.String("stats", "text", "stats output format: text or json")
+	telemetryOut := flag.String("telemetry", "", "write a JSONL telemetry journal to this file")
+	snapshotEvery := flag.Uint64("snapshot-every", 0, "emit a telemetry snapshot every N measured accesses (0 disables)")
+	journalSample := flag.Uint64("journal-sample", 1024, "journal 1 in N bypass/eviction/sampler events (1 = all)")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	if *list {
@@ -41,6 +62,11 @@ func main() {
 			fmt.Printf("  %-20s APKI=%.0f\n", b.Name, b.APKI)
 		}
 		return
+	}
+
+	if *statsFmt != "text" && *statsFmt != "json" {
+		fmt.Fprintf(os.Stderr, "-stats must be text or json, got %q\n", *statsFmt)
+		os.Exit(2)
 	}
 
 	var b workload.Benchmark
@@ -70,7 +96,82 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	r := experiments.RunSingle(b, spec, *n, *seed)
+
+	// Profiling hooks.
+	if *pprofAddr != "" {
+		if err := telemetry.ServeDebug(*pprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *cpuProfile != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+
+	// Telemetry pipeline.
+	telemetryOn := *telemetryOut != "" || *snapshotEvery > 0 || *pprofAddr != "" || *statsFmt == "json"
+	var reg *telemetry.Registry
+	var journal *telemetry.Journal
+	if telemetryOn {
+		reg = telemetry.NewRegistry()
+		reg.PublishExpvar("pdpsim")
+		journal = telemetry.NewJournal(0)
+		if *telemetryOut != "" {
+			f, err := os.Create(*telemetryOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			journal.SetSink(f)
+		}
+	}
+
+	r := experiments.RunSingleTelemetry(b, spec, *n, *seed, experiments.TelemetryOptions{
+		Registry:      reg,
+		Journal:       journal,
+		SnapshotEvery: *snapshotEvery,
+		EventSample:   *journalSample,
+	})
+
+	if err := journal.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "telemetry journal: %v\n", err)
+		os.Exit(1)
+	}
+	if *memProfile != "" {
+		if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *statsFmt == "json" {
+		out := struct {
+			experiments.RunResult
+			Warmup     int            `json:"warmup_accesses"`
+			HitRate    float64        `json:"hit_rate"`
+			BypassFrac float64        `json:"bypass_frac"`
+			Metrics    map[string]any `json:"metrics,omitempty"`
+		}{
+			RunResult:  r,
+			Warmup:     experiments.Warmup(*n),
+			HitRate:    r.Stats.HitRate(),
+			BypassFrac: r.BypassFrac(),
+			Metrics:    reg.Snapshot(),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Printf("benchmark   %s\n", r.Bench)
 	fmt.Printf("policy      %s\n", r.Policy)
 	fmt.Printf("accesses    %d (after %d warm-up)\n", r.Stats.Accesses, experiments.Warmup(*n))
@@ -81,4 +182,9 @@ func main() {
 	fmt.Printf("instructions %d\n", r.Instr)
 	fmt.Printf("IPC         %.4f\n", r.IPC)
 	fmt.Printf("MPKI        %.3f\n", r.MPKI)
+	if journal != nil && *telemetryOut != "" {
+		fmt.Printf("telemetry   %d records -> %s (%d pd_recompute, %d snapshot)\n",
+			journal.Total(), *telemetryOut,
+			journal.CountKind(telemetry.KindPDRecompute), journal.CountKind(telemetry.KindSnapshot))
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"pdp/internal/experiments"
+	"pdp/internal/telemetry"
 )
 
 func main() {
@@ -26,7 +27,32 @@ func main() {
 	mixes4 := flag.Int("mixes4", 0, "override the number of 4-core mixes (fig12)")
 	mixes16 := flag.Int("mixes16", 0, "override the number of 16-core mixes (fig12)")
 	seed := flag.Uint64("seed", 42, "random seed")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (long runs)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		if err := telemetry.ServeDebug(*pprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *cpuProfile != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range experiments.Registry() {

@@ -100,16 +100,17 @@ type Monitor interface {
 	Event(Event)
 }
 
-// Stats aggregates cache activity counters.
+// Stats aggregates cache activity counters. The JSON field names are the
+// stable schema of the telemetry layer's `-stats json` output.
 type Stats struct {
-	Accesses   uint64
-	Hits       uint64
-	Misses     uint64 // includes bypasses
-	Bypasses   uint64
-	Inserts    uint64
-	Evictions  uint64
-	Writebacks uint64 // dirty evictions
-	WriteAccs  uint64
+	Accesses   uint64 `json:"accesses"`
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"` // includes bypasses
+	Bypasses   uint64 `json:"bypasses"`
+	Inserts    uint64 `json:"inserts"`
+	Evictions  uint64 `json:"evictions"`
+	Writebacks uint64 `json:"writebacks"` // dirty evictions
+	WriteAccs  uint64 `json:"write_accesses"`
 }
 
 // HitRate returns hits/accesses (0 when idle).

@@ -368,3 +368,67 @@ func TestHierarchyNonInclusiveKeepsUpperLines(t *testing.T) {
 		t.Fatal("no back-invalidations expected")
 	}
 }
+
+func TestMonitorBypassEvent(t *testing.T) {
+	c := New(Config{Name: "t", Sets: 1, Ways: 2, LineSize: 64, AllowBypass: true}, bypassAll{})
+	rec := &recorder{}
+	c.SetMonitor(rec)
+	c.Access(trace.Access{Addr: addr(1, 0, 0)})
+	c.Access(trace.Access{Addr: addr(1, 0, 1)})
+	c.Access(trace.Access{Addr: addr(1, 0, 2) + 7}) // unaligned: event addr must be line-aligned
+	kinds := []EventKind{EvInsert, EvInsert, EvBypass}
+	if len(rec.evs) != len(kinds) {
+		t.Fatalf("got %d events, want %d", len(rec.evs), len(kinds))
+	}
+	for i, k := range kinds {
+		if rec.evs[i].Kind != k {
+			t.Fatalf("event %d kind = %d, want %d", i, rec.evs[i].Kind, k)
+		}
+	}
+	bp := rec.evs[2]
+	if bp.Set != 0 || bp.Addr != addr(1, 0, 2) || bp.SetAccesses != 3 {
+		t.Fatalf("bypass event = %+v", bp)
+	}
+	if c.Stats.Bypasses != 1 {
+		t.Fatalf("Bypasses = %d, want 1", c.Stats.Bypasses)
+	}
+}
+
+func TestMonitorEvictEventOnDirtyVictim(t *testing.T) {
+	c := mkCache(1, 1, false)
+	rec := &recorder{}
+	c.SetMonitor(rec)
+	c.Access(trace.Access{Addr: addr(1, 0, 0), Write: true}) // dirty insert
+	r := c.Access(trace.Access{Addr: addr(1, 0, 1)})         // evicts dirty tag 0
+	if !r.Evicted || !r.Writeback {
+		t.Fatalf("expected dirty eviction, got %+v", r)
+	}
+	if c.Stats.Writebacks != 1 {
+		t.Fatalf("Writebacks = %d, want 1", c.Stats.Writebacks)
+	}
+	kinds := []EventKind{EvInsert, EvEvict, EvInsert}
+	if len(rec.evs) != len(kinds) {
+		t.Fatalf("got %d events, want %d", len(rec.evs), len(kinds))
+	}
+	for i, k := range kinds {
+		if rec.evs[i].Kind != k {
+			t.Fatalf("event %d kind = %d, want %d", i, rec.evs[i].Kind, k)
+		}
+	}
+	if rec.evs[1].Addr != addr(1, 0, 0) {
+		t.Fatalf("evict event addr = %#x, want dirty victim %#x", rec.evs[1].Addr, addr(1, 0, 0))
+	}
+	// A write bypass leaves the cache unchanged: no writeback, no events
+	// beyond EvBypass (dirty data never entered the cache).
+	cb := New(Config{Name: "t", Sets: 1, Ways: 1, LineSize: 64, AllowBypass: true}, bypassAll{})
+	recb := &recorder{}
+	cb.SetMonitor(recb)
+	cb.Access(trace.Access{Addr: addr(1, 0, 0)})
+	cb.Access(trace.Access{Addr: addr(1, 0, 1), Write: true})
+	if cb.Stats.Writebacks != 0 {
+		t.Fatalf("bypassed write counted a writeback: %+v", cb.Stats)
+	}
+	if last := recb.evs[len(recb.evs)-1]; last.Kind != EvBypass || !last.Acc.Write {
+		t.Fatalf("last event = %+v, want write EvBypass", last)
+	}
+}

@@ -61,6 +61,10 @@ type Config struct {
 	// RecordHistory retains (access count, PD) samples for phase studies
 	// (paper Fig. 11c).
 	RecordHistory bool
+	// Observer, when non-nil, receives every dynamic PD recomputation
+	// (observability seam; internal/telemetry journals these). It can also
+	// be attached after construction with SetObserver.
+	Observer func(RecomputeEvent)
 }
 
 func (c *Config) setDefaults() {
@@ -100,6 +104,25 @@ func (c *Config) validate() {
 	if c.DMax>>uint(c.NC) < 1 && c.NC > 8 {
 		panic(fmt.Sprintf("core: NC=%d too large for DMax=%d", c.NC, c.DMax))
 	}
+}
+
+// RecomputeEvent describes one dynamic PD recomputation, captured before
+// the counter array is reset.
+type RecomputeEvent struct {
+	// Access is the policy-lifetime access count at recomputation.
+	Access uint64
+	// Seq is the 1-based recompute ordinal.
+	Seq uint64
+	// OldPD and NewPD are the protecting distances before and after; they
+	// are equal when the RDD held no reuse and the previous PD was kept.
+	OldPD, NewPD int
+	// Counts is a copy of the RDD counter array (N_i) the decision was
+	// computed from; Total is N_t; Frozen reports counter saturation.
+	Counts []uint32
+	Total  uint64
+	Frozen bool
+	// E is the hit-rate model curve E(d_p) at each counter boundary.
+	E []float64
 }
 
 // PDPoint is one sample of the PD trajectory.
@@ -192,6 +215,13 @@ func (p *PDP) History() []PDPoint { return p.history }
 
 // Sampler returns the RD sampler (nil for static PDP).
 func (p *PDP) Sampler() *sampler.RDSampler { return p.smp }
+
+// Accesses returns the policy-lifetime access count (the time base of
+// RecomputeEvent.Access).
+func (p *PDP) Accesses() uint64 { return p.accs }
+
+// SetObserver attaches (or, with nil, detaches) the recompute observer.
+func (p *PDP) SetObserver(f func(RecomputeEvent)) { p.cfg.Observer = f }
 
 // steps converts a protecting distance in accesses to RPD steps.
 func (p *PDP) steps(pd int) uint16 {
@@ -308,11 +338,24 @@ func (p *PDP) PostAccess(set int, acc trace.Access) {
 
 func (p *PDP) recompute() {
 	arr := p.smp.Array()
+	old := p.pd
 	if pd := p.cfg.Solver.FindPD(arr, p.cfg.DE); pd > 0 {
 		p.pd = pd
 	}
-	arr.Reset()
 	p.Recomputes++
+	if p.cfg.Observer != nil {
+		p.cfg.Observer(RecomputeEvent{
+			Access: p.accs,
+			Seq:    p.Recomputes,
+			OldPD:  old,
+			NewPD:  p.pd,
+			Counts: arr.Counts(),
+			Total:  arr.Total(),
+			Frozen: arr.Frozen(),
+			E:      EValues(arr, p.cfg.DE),
+		})
+	}
+	arr.Reset()
 	if p.cfg.RecordHistory {
 		p.history = append(p.history, PDPoint{p.accs, p.pd})
 	}

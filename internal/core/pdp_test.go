@@ -393,3 +393,60 @@ func TestPDPProtectionInvariantProperty(t *testing.T) {
 type monitorFunc func(cache.Event)
 
 func (f monitorFunc) Event(ev cache.Event) { f(ev) }
+
+func TestPDPRecomputeObserver(t *testing.T) {
+	c, p := newCacheWithPDP(Config{
+		Sets: 16, Ways: 2, DMax: 64, SC: 4, RecomputeEvery: 256, FullSampler: true,
+	}, true)
+	var evs []RecomputeEvent
+	p.SetObserver(func(ev RecomputeEvent) { evs = append(evs, ev) })
+
+	// A tight loop with reuse distance 8 lines: the sampler measures it
+	// and the solver picks a protecting PD.
+	for i := 0; i < 1024; i++ {
+		c.Access(trace.Access{Addr: addr(16, i%16, (i/16)%4)})
+	}
+	if p.Accesses() != 1024 {
+		t.Fatalf("Accesses = %d, want 1024", p.Accesses())
+	}
+	if len(evs) != 4 {
+		t.Fatalf("observer calls = %d, want 4 (every 256 accesses)", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d Seq = %d", i, ev.Seq)
+		}
+		if ev.Access != uint64(256*(i+1)) {
+			t.Fatalf("event %d Access = %d, want %d", i, ev.Access, 256*(i+1))
+		}
+		if ev.NewPD <= 0 || ev.NewPD > 64 {
+			t.Fatalf("event %d NewPD = %d out of range", i, ev.NewPD)
+		}
+		if len(ev.Counts) == 0 {
+			t.Fatalf("event %d carries no RDD snapshot", i)
+		}
+		if len(ev.E) == 0 {
+			t.Fatalf("event %d carries no E(d_p) curve", i)
+		}
+		if i > 0 && ev.OldPD != evs[i-1].NewPD {
+			t.Fatalf("event %d OldPD = %d, previous NewPD = %d", i, ev.OldPD, evs[i-1].NewPD)
+		}
+	}
+	// The RDD is captured before the post-recompute reset: a measured
+	// trace must show a non-zero total.
+	if evs[0].Total == 0 {
+		t.Fatal("first recompute saw an empty RDD total")
+	}
+	if uint64(len(evs)) != p.Recomputes {
+		t.Fatalf("observer calls = %d, Recomputes = %d", len(evs), p.Recomputes)
+	}
+
+	// Detach: no further events.
+	p.SetObserver(nil)
+	for i := 0; i < 256; i++ {
+		c.Access(trace.Access{Addr: addr(16, i%16, (i/16)%4)})
+	}
+	if len(evs) != 4 {
+		t.Fatalf("detached observer still called: %d events", len(evs))
+	}
+}

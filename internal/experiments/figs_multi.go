@@ -8,6 +8,7 @@ import (
 	"pdp/internal/metrics"
 	"pdp/internal/partition"
 	"pdp/internal/rrip"
+	"pdp/internal/telemetry"
 	"pdp/internal/trace"
 	"pdp/internal/workload"
 )
@@ -56,6 +57,30 @@ type MixResult struct {
 // core. Threads interleave with probabilities proportional to their APKI
 // (memory-intensity-proportional arrival, standing in for co-run timing).
 func RunMix(mix workload.Mix, spec MCPolicySpec, perThread int, seed uint64) MixResult {
+	return runMix(mix, spec, perThread, seed, nil)
+}
+
+// RunMixTelemetry is RunMix with the telemetry pipeline attached after
+// warm-up: a per-core-occupancy-aware cache Tap plus opt.Extra. Shared-LLC
+// partitioning policies exposing PDs() get their per-thread protecting
+// distances stamped into every snapshot.
+func RunMixTelemetry(mix workload.Mix, spec MCPolicySpec, perThread int, seed uint64, opt TelemetryOptions) MixResult {
+	return runMix(mix, spec, perThread, seed, func(c *cache.Cache, pol cache.Policy) {
+		tap := telemetry.NewTap(c, telemetry.TapConfig{
+			Registry:      opt.Registry,
+			Journal:       opt.Journal,
+			SnapshotEvery: opt.SnapshotEvery,
+			EventSample:   opt.EventSample,
+			Cores:         len(mix.Benchs),
+		})
+		tap.ObservePolicy(pol)
+		c.SetMonitor(telemetry.Multi(tap, opt.Extra))
+	})
+}
+
+// runMix drives one multi-programmed run; attach, called on the warmed-up
+// cache just before the measured window, installs any observers.
+func runMix(mix workload.Mix, spec MCPolicySpec, perThread int, seed uint64, attach func(*cache.Cache, cache.Policy)) MixResult {
 	cores := len(mix.Benchs)
 	sets := LLCSets * cores
 	pol := spec.New(sets, LLCWays, cores, seed)
@@ -99,6 +124,10 @@ func RunMix(mix workload.Mix, spec MCPolicySpec, perThread int, seed uint64) Mix
 		a := gens[t].Next()
 		a.Thread = t
 		c.Access(a)
+	}
+	c.Stats = cache.Stats{}
+	if attach != nil {
+		attach(c, pol)
 	}
 	for i := 0; i < n; i++ {
 		t := pick()

@@ -16,6 +16,7 @@ import (
 	"pdp/internal/eelru"
 	"pdp/internal/rrip"
 	"pdp/internal/sdp"
+	"pdp/internal/telemetry"
 	"pdp/internal/trace"
 	"pdp/internal/workload"
 )
@@ -110,14 +111,15 @@ func specSPDP(pd int, bypass bool) PolicySpec {
 	}}
 }
 
-// RunResult summarizes one single-core run.
+// RunResult summarizes one single-core run. The JSON field names are the
+// stable schema of the CLIs' `-stats json` output.
 type RunResult struct {
-	Bench  string
-	Policy string
-	Stats  cache.Stats
-	Instr  uint64
-	IPC    float64
-	MPKI   float64
+	Bench  string      `json:"benchmark"`
+	Policy string      `json:"policy"`
+	Stats  cache.Stats `json:"stats"`
+	Instr  uint64      `json:"instructions"`
+	IPC    float64     `json:"ipc"`
+	MPKI   float64     `json:"mpki"`
 }
 
 // BypassFrac returns bypasses / accesses.
@@ -153,6 +155,17 @@ func Warmup(n int) int {
 // RunSingleMonitored is RunSingle with an attached cache monitor. Warm-up
 // accesses run before counters (and the monitor) start.
 func RunSingleMonitored(b workload.Benchmark, spec PolicySpec, n int, seed uint64, mon cache.Monitor) RunResult {
+	return runSingle(b, spec, n, seed, func(c *cache.Cache, _ cache.Policy) {
+		if mon != nil {
+			c.SetMonitor(mon)
+		}
+	})
+}
+
+// runSingle drives one single-core run; attach, called on the warmed-up
+// cache just before the measured window (stats freshly reset), installs
+// any observers.
+func runSingle(b workload.Benchmark, spec PolicySpec, n int, seed uint64, attach func(*cache.Cache, cache.Policy)) RunResult {
 	pol := spec.New(LLCSets, LLCWays, seed)
 	c := cache.New(cache.Config{
 		Name: "LLC", Sets: LLCSets, Ways: LLCWays, LineSize: trace.LineSize,
@@ -163,8 +176,8 @@ func RunSingleMonitored(b workload.Benchmark, spec PolicySpec, n int, seed uint6
 		c.Access(g.Next())
 	}
 	c.Stats = cache.Stats{}
-	if mon != nil {
-		c.SetMonitor(mon)
+	if attach != nil {
+		attach(c, pol)
 	}
 	for i := 0; i < n; i++ {
 		c.Access(g.Next())
@@ -180,6 +193,46 @@ func RunSingleMonitored(b workload.Benchmark, spec PolicySpec, n int, seed uint6
 		IPC:    model.IPC(instr, c.Stats.Hits, mem),
 		MPKI:   cpu.MPKI(mem, instr),
 	}
+}
+
+// TelemetryOptions configures the observability pipeline of an
+// instrumented run: where metrics and events go, the snapshot cadence,
+// and any additional monitor to fan in via telemetry.Multi.
+type TelemetryOptions struct {
+	// Registry receives the run's counters, gauges and histograms (nil
+	// disables metrics).
+	Registry *telemetry.Registry
+	// Journal receives events and snapshots (nil disables journaling).
+	Journal *telemetry.Journal
+	// SnapshotEvery is the snapshot cadence in measured accesses (0
+	// disables snapshots).
+	SnapshotEvery uint64
+	// EventSample journals one in EventSample high-frequency events
+	// (bypasses, protected evictions, sampler FIFO evictions); <= 1
+	// journals all.
+	EventSample uint64
+	// Extra is an additional cache monitor observing the same run.
+	Extra cache.Monitor
+}
+
+// RunSingleTelemetry is RunSingle with the full telemetry pipeline
+// attached after warm-up: a cache Tap (metrics, snapshots, bypass and
+// protected-eviction events), the PDP recompute observer and the sampler
+// FIFO hook when the policy is a dynamic PDP, plus opt.Extra.
+func RunSingleTelemetry(b workload.Benchmark, spec PolicySpec, n int, seed uint64, opt TelemetryOptions) RunResult {
+	return runSingle(b, spec, n, seed, func(c *cache.Cache, pol cache.Policy) {
+		tap := telemetry.NewTap(c, telemetry.TapConfig{
+			Registry:      opt.Registry,
+			Journal:       opt.Journal,
+			SnapshotEvery: opt.SnapshotEvery,
+			EventSample:   opt.EventSample,
+		})
+		tap.ObservePolicy(pol)
+		if pdp, ok := pol.(*core.PDP); ok {
+			telemetry.ObservePDP(pdp, opt.Journal, opt.EventSample)
+		}
+		c.SetMonitor(telemetry.Multi(tap, opt.Extra))
+	})
 }
 
 // table starts an aligned text table on w.

@@ -162,6 +162,22 @@ type fifoEntry struct {
 	valid bool
 }
 
+// Stats counts sampler activity; read it directly, like cache.Stats. The
+// counters are cumulative over the sampler's lifetime (Reset does not
+// clear them).
+type Stats struct {
+	// Accesses counts accesses to monitored sets.
+	Accesses uint64 `json:"accesses"`
+	// Hits counts reuse distances measured (FIFO matches).
+	Hits uint64 `json:"hits"`
+	// Inserts counts FIFO entries pushed.
+	Inserts uint64 `json:"inserts"`
+	// Evictions counts valid FIFO entries overwritten before ever matching
+	// — reuse distances the sampler failed to measure (either longer than
+	// the FIFO covers, or never reused at all).
+	Evictions uint64 `json:"evictions"`
+}
+
 // RDSampler measures set-level reuse distances of an access stream and
 // accumulates them into a CounterArray.
 type RDSampler struct {
@@ -173,6 +189,12 @@ type RDSampler struct {
 	counts []int // per-set sampling counter t
 	thresh []int // per-set dithered insertion threshold (~M)
 	rng    *trace.RNG
+
+	// Stats accumulates activity counters; callers may read it directly.
+	Stats Stats
+	// OnFIFOEvict, when non-nil, is called with the sampler slot whenever a
+	// valid FIFO entry is overwritten unmatched (observability seam).
+	OnFIFOEvict func(slot int)
 }
 
 // New builds a sampler; the caller owns the returned CounterArray lifetime
@@ -255,6 +277,7 @@ func (s *RDSampler) AccessInto(set int, addr uint64, arr *CounterArray) {
 	if slot < 0 {
 		return
 	}
+	s.Stats.Accesses++
 	arr.RecordAccess()
 
 	fifo := s.fifos[slot]
@@ -273,6 +296,7 @@ func (s *RDSampler) AccessInto(set int, addr uint64, arr *CounterArray) {
 			// repository convention counts the access-index difference
 			// (back-to-back reuse has RD 1), hence the +1.
 			rd := n*s.cfg.InsertRate + t + 1
+			s.Stats.Hits++
 			arr.RecordHit(rd)
 			// Invalidate to reduce RD measurement error (paper Sec. 3).
 			e.valid = false
@@ -289,6 +313,13 @@ func (s *RDSampler) AccessInto(set int, addr uint64, arr *CounterArray) {
 	t++
 	if t >= s.thresh[slot] {
 		t = 0
+		if fifo[head].valid {
+			s.Stats.Evictions++
+			if s.OnFIFOEvict != nil {
+				s.OnFIFOEvict(slot)
+			}
+		}
+		s.Stats.Inserts++
 		fifo[head] = fifoEntry{tag: tag, valid: true}
 		s.heads[slot] = (head + 1) % depth
 		if m := s.cfg.InsertRate; m >= 2 {

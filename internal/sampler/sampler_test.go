@@ -239,3 +239,51 @@ func TestSamplerPanicsOnBadConfig(t *testing.T) {
 	}()
 	New(Config{CacheSets: 0, SampledSets: 1, FIFODepth: 1, InsertRate: 1, DMax: 8, Sc: 1})
 }
+
+func TestSamplerStatsAndFIFOEvictHook(t *testing.T) {
+	// One sampled set, FIFO depth 2, insert every access: a stream of
+	// distinct tags fills the FIFO and then overwrites a valid entry on
+	// every further insert, firing OnFIFOEvict each time.
+	s := New(Config{CacheSets: 1, SampledSets: 1, FIFODepth: 2, InsertRate: 1, DMax: 16, Sc: 4})
+	var hookSlots []int
+	s.OnFIFOEvict = func(slot int) { hookSlots = append(hookSlots, slot) }
+	for i := 0; i < 6; i++ {
+		s.Access(0, uint64(i)*64)
+	}
+	if s.Stats.Accesses != 6 || s.Stats.Inserts != 6 {
+		t.Fatalf("stats = %+v, want 6 accesses / 6 inserts", s.Stats)
+	}
+	if s.Stats.Hits != 0 {
+		t.Fatalf("distinct tags must not hit, stats = %+v", s.Stats)
+	}
+	// Inserts 3..6 overwrite the valid entries pushed two inserts earlier.
+	if s.Stats.Evictions != 4 || len(hookSlots) != 4 {
+		t.Fatalf("evictions = %d, hook calls = %d, want 4/4", s.Stats.Evictions, len(hookSlots))
+	}
+	for _, slot := range hookSlots {
+		if slot != 0 {
+			t.Fatalf("hook slot = %d, want 0", slot)
+		}
+	}
+
+	// A reuse hit invalidates the entry, so its slot is overwritten
+	// without an eviction.
+	s2 := New(Config{CacheSets: 1, SampledSets: 1, FIFODepth: 2, InsertRate: 1, DMax: 16, Sc: 4})
+	fired := false
+	s2.OnFIFOEvict = func(int) { fired = true }
+	s2.Access(0, 0*64)
+	s2.Access(0, 1*64)
+	s2.Access(0, 0*64) // hit: invalidates the tag-0 entry...
+	if s2.Stats.Hits != 1 {
+		t.Fatalf("hits = %d, want 1", s2.Stats.Hits)
+	}
+	if s2.Stats.Evictions != 0 || fired {
+		t.Fatalf("hit-invalidated entry must not count as an eviction: %+v", s2.Stats)
+	}
+
+	// Stats are cumulative: Reset clears the FIFOs but not the counters.
+	s.Reset()
+	if s.Stats.Accesses != 6 {
+		t.Fatalf("Reset cleared cumulative stats: %+v", s.Stats)
+	}
+}

@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Journal record kinds. Each kind has a fixed schema (a Record
+// implementation below); the "kind" field of every JSONL line
+// discriminates them.
+const (
+	// KindPDRecompute records one dynamic PD recomputation: old and new PD,
+	// the RDD counter snapshot that produced it, and the E(d_p) curve.
+	KindPDRecompute = "pd_recompute"
+	// KindSnapshot is the periodic interval snapshot (every K accesses).
+	KindSnapshot = "snapshot"
+	// KindBypass records one bypass decision.
+	KindBypass = "bypass"
+	// KindProtectedEvict records the eviction of a still-protected line
+	// (RPD > 0) — the forced evictions of the paper's inclusive variant.
+	KindProtectedEvict = "protected_evict"
+	// KindSamplerEvict records an RD-sampler FIFO entry overwritten before
+	// it was ever matched (a reuse distance the sampler failed to measure).
+	KindSamplerEvict = "sampler_fifo_evict"
+)
+
+// Record is one journal entry. Implementations are plain JSON-marshalable
+// structs whose Kind field holds the RecordKind value.
+type Record interface {
+	RecordKind() string
+}
+
+// RecomputeRecord is the KindPDRecompute schema.
+type RecomputeRecord struct {
+	Kind string `json:"kind"`
+	// Access is the policy-lifetime access count at recomputation.
+	Access uint64 `json:"access"`
+	Policy string `json:"policy,omitempty"`
+	// Seq is the 1-based recompute ordinal.
+	Seq   uint64 `json:"seq"`
+	OldPD int    `json:"old_pd"`
+	NewPD int    `json:"new_pd"`
+	// RDD is the counter-array snapshot (N_i) the new PD was computed from;
+	// RDDTotal is N_t.
+	RDD      []uint32 `json:"rdd,omitempty"`
+	RDDTotal uint64   `json:"rdd_total"`
+	Frozen   bool     `json:"frozen,omitempty"`
+	// E is the hit-rate model curve E(d_p) at each counter boundary.
+	E []float64 `json:"e_curve,omitempty"`
+}
+
+// RecordKind implements Record.
+func (RecomputeRecord) RecordKind() string { return KindPDRecompute }
+
+// SnapshotRecord is the KindSnapshot schema: one point of the run's time
+// series, emitted every K accesses by a Tap.
+type SnapshotRecord struct {
+	Kind string `json:"kind"`
+	// Access is the number of monitored accesses so far (measurement window
+	// time, warm-up excluded).
+	Access uint64 `json:"access"`
+	// HitRate is cumulative over the window; IntervalHitRate covers only
+	// the accesses since the previous snapshot.
+	HitRate         float64 `json:"hit_rate"`
+	IntervalHitRate float64 `json:"interval_hit_rate"`
+	// PD is the current protecting distance (0 when the policy has none).
+	PD int `json:"pd,omitempty"`
+	// PDs are the per-thread protecting distances of a partitioning policy.
+	PDs       []int  `json:"pds,omitempty"`
+	Accesses  uint64 `json:"accesses"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Bypasses  uint64 `json:"bypasses"`
+	Evictions uint64 `json:"evictions"`
+	// Writebacks counts dirty evictions.
+	Writebacks uint64 `json:"writebacks"`
+	// ValidFrac is the fraction of cache lines currently valid.
+	ValidFrac float64 `json:"valid_frac"`
+	// Occupancy is the fraction of cache lines owned per core (paper
+	// Fig. 5a's occupancy view); lines resident since before monitoring
+	// started are unattributed and excluded.
+	Occupancy []float64 `json:"occupancy,omitempty"`
+	// SetSkew is max/mean of per-set access counts (1 = perfectly uniform);
+	// SetCV is their coefficient of variation.
+	SetSkew float64 `json:"set_skew"`
+	SetCV   float64 `json:"set_cv"`
+}
+
+// RecordKind implements Record.
+func (SnapshotRecord) RecordKind() string { return KindSnapshot }
+
+// EventRecord is the schema shared by KindBypass, KindProtectedEvict and
+// KindSamplerEvict.
+type EventRecord struct {
+	Kind string `json:"kind"`
+	// Access is the monitored access count (Tap events) or the
+	// policy-lifetime access count (sampler events).
+	Access uint64 `json:"access"`
+	// Set is the cache set (or the sampler slot for KindSamplerEvict).
+	Set int `json:"set"`
+	// Way is the victim way (-1 when not applicable, e.g. bypasses).
+	Way  int    `json:"way"`
+	Addr uint64 `json:"addr,omitempty"`
+	// Thread is the originating core.
+	Thread int `json:"thread,omitempty"`
+	// RPD is the victim's remaining protecting distance (KindProtectedEvict).
+	RPD int `json:"rpd,omitempty"`
+}
+
+// RecordKind implements Record.
+func (e EventRecord) RecordKind() string { return e.Kind }
+
+// Journal is a bounded ring buffer of records with an optional JSONL sink.
+// The ring keeps the most recent records for in-process inspection
+// (crash-dump style); the sink, when set, receives every record as one
+// JSON line. All methods are safe on a nil *Journal and under concurrent
+// use.
+type Journal struct {
+	mu     sync.Mutex
+	ring   []Record
+	next   int
+	filled bool
+	total  uint64
+	counts map[string]uint64
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	err    error
+}
+
+// DefaultRingSize bounds the journal's in-memory history.
+const DefaultRingSize = 1024
+
+// NewJournal builds a journal retaining the last ringSize records
+// (DefaultRingSize when <= 0).
+func NewJournal(ringSize int) *Journal {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	return &Journal{ring: make([]Record, ringSize), counts: map[string]uint64{}}
+}
+
+// SetSink directs every subsequent record to w as JSON lines. The journal
+// buffers writes; call Flush before reading the sink.
+func (j *Journal) SetSink(w io.Writer) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.bw = bufio.NewWriter(w)
+	j.enc = json.NewEncoder(j.bw)
+}
+
+// Append records r.
+func (j *Journal) Append(r Record) {
+	if j == nil || r == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.ring[j.next] = r
+	j.next++
+	if j.next == len(j.ring) {
+		j.next = 0
+		j.filled = true
+	}
+	j.total++
+	j.counts[r.RecordKind()]++
+	if j.enc != nil && j.err == nil {
+		j.err = j.enc.Encode(r)
+	}
+}
+
+// Len returns the number of records currently held in the ring.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.filled {
+		return len(j.ring)
+	}
+	return j.next
+}
+
+// Total returns the number of records ever appended.
+func (j *Journal) Total() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.total
+}
+
+// CountKind returns how many records of the given kind were appended.
+func (j *Journal) CountKind(kind string) uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.counts[kind]
+}
+
+// Tail returns the most recent n records, oldest first.
+func (j *Journal) Tail(n int) []Record {
+	if j == nil || n <= 0 {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	held := j.next
+	if j.filled {
+		held = len(j.ring)
+	}
+	if n > held {
+		n = held
+	}
+	out := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, j.ring[(j.next-n+i+len(j.ring))%len(j.ring)])
+	}
+	return out
+}
+
+// Flush drains buffered sink writes and returns the first write or encode
+// error encountered so far.
+func (j *Journal) Flush() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.bw != nil {
+		if err := j.bw.Flush(); err != nil && j.err == nil {
+			j.err = err
+		}
+	}
+	return j.err
+}

@@ -1,0 +1,35 @@
+package telemetry
+
+import "pdp/internal/cache"
+
+// multiMonitor fans cache events out to several monitors in order.
+type multiMonitor []cache.Monitor
+
+// Event implements cache.Monitor.
+func (m multiMonitor) Event(ev cache.Event) {
+	for _, mon := range m {
+		mon.Event(ev)
+	}
+}
+
+// Multi combines monitors into one, so several observers (an experiment's
+// occupancy monitor, a telemetry Tap, ...) can watch the same cache
+// through cache.SetMonitor's single seam. Nil monitors are dropped; Multi
+// returns nil when none remain and the sole monitor unwrapped when only
+// one does, so the cache's no-monitor and one-monitor fast paths are
+// preserved.
+func Multi(mons ...cache.Monitor) cache.Monitor {
+	out := make(multiMonitor, 0, len(mons))
+	for _, m := range mons {
+		if m != nil {
+			out = append(out, m)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}

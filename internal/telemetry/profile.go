@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins writing a CPU profile to path and returns the
+// function that stops profiling and closes the file. Pair it with defer:
+//
+//	stop, err := telemetry.StartCPUProfile("cpu.prof")
+//	...
+//	defer stop()
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes an up-to-date allocation profile to path.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // get up-to-date statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	return nil
+}
+
+// ServeDebug starts an HTTP server on addr exposing /debug/pprof (live
+// profiling of long runs) and /debug/vars (expvar, including registries
+// published with PublishExpvar). It returns once the listener is bound, so
+// a caller can fail fast on a bad address; serving continues in the
+// background for the life of the process.
+func ServeDebug(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("debug server: %w", err)
+	}
+	go func() {
+		// DefaultServeMux carries the pprof and expvar handlers.
+		_ = http.Serve(ln, nil)
+	}()
+	return nil
+}

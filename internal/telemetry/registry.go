@@ -1,0 +1,275 @@
+// Package telemetry is the simulator's observability layer: a registry of
+// named counters, gauges and log2-bucketed histograms with cheap atomic
+// updates; a structured event journal (bounded ring buffer plus optional
+// JSONL sink) for PD recomputations, protected-line evictions, bypass
+// decisions and sampler FIFO evictions; periodic interval snapshots of hit
+// rate, current PD, per-core occupancy and set-access skew; and profiling
+// hooks (pprof, expvar) for long runs.
+//
+// The whole package is nil-tolerant: every method is safe on a nil
+// receiver and does nothing, so instrumented code needs no "is telemetry
+// on?" branches — a disabled pipeline is a handful of predictable
+// nil-checks per event, and the cache substrate itself pays nothing at all
+// when no monitor is attached (cache.Cache only calls an attached
+// Monitor). It depends on the standard library only.
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time float64 metric (hit rate, occupancy, current PD).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last stored value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is bits.Len64(max uint64) + 1: bucket k counts observed
+// values whose bit length is k, i.e. v in [2^(k-1), 2^k).
+const histBuckets = 65
+
+// Histogram accumulates a distribution in log2 buckets: bucket k counts
+// values v with bits.Len64(v) == k (bucket 0 is exactly v == 0). The
+// geometry matches the reuse-distance scale of the paper's analyses, where
+// only the order of magnitude of a lifetime or distance matters.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the average observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Buckets returns the log2 bucket counts, trimmed of trailing zeros.
+// Buckets()[k] counts values in [2^(k-1), 2^k); index 0 counts zeros.
+func (h *Histogram) Buckets() []uint64 {
+	if h == nil {
+		return nil
+	}
+	last := -1
+	var out [histBuckets]uint64
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+		if out[i] != 0 {
+			last = i
+		}
+	}
+	return append([]uint64(nil), out[:last+1]...)
+}
+
+// Registry is a namespace of metrics. Lookups take a mutex; the returned
+// metric handles update lock-free, so instrumented code resolves its
+// handles once and hits only atomics afterwards. A nil *Registry returns
+// nil handles, whose operations are no-ops — the disabled-mode fast path.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// histSnapshot is the JSON form of one histogram.
+type histSnapshot struct {
+	Count uint64   `json:"count"`
+	Sum   uint64   `json:"sum"`
+	Mean  float64  `json:"mean"`
+	Log2  []uint64 `json:"log2_buckets"`
+}
+
+// Snapshot returns a point-in-time copy of every metric, keyed by name:
+// counters and gauges map to their value, histograms to
+// {count, sum, mean, log2_buckets}.
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		out[name] = histSnapshot{Count: h.Count(), Sum: h.Sum(), Mean: h.Mean(), Log2: h.Buckets()}
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as one JSON object with sorted keys.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	if snap == nil {
+		snap = map[string]any{}
+	}
+	// json.Marshal sorts map keys already; encode directly.
+	enc := json.NewEncoder(w)
+	return enc.Encode(snap)
+}
+
+// Names returns every registered metric name, sorted.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PublishExpvar exposes the registry under the given expvar name (shown at
+// /debug/vars when an HTTP server runs, e.g. via ServeDebug). Publishing
+// the same name twice is a no-op rather than the expvar panic.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil || name == "" {
+		return
+	}
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

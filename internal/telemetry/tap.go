@@ -1,0 +1,288 @@
+package telemetry
+
+import (
+	"math"
+
+	"pdp/internal/cache"
+)
+
+// PDProvider exposes a current protecting distance; *core.PDP implements
+// it. The Tap uses it to stamp snapshots with the PD trajectory.
+type PDProvider interface {
+	PD() int
+}
+
+// MultiPDProvider exposes per-thread protecting distances;
+// *partition.PDPPart implements it.
+type MultiPDProvider interface {
+	PDs() []int
+}
+
+// ProtectionChecker reports protecting-distance state of resident lines;
+// *core.PDP implements it. The cache emits eviction events before
+// notifying the policy, so the Tap reads the victim's pre-eviction state.
+type ProtectionChecker interface {
+	Protected(set, way int) bool
+	RPD(set, way int) int
+}
+
+// TapConfig configures a Tap. Zero values disable the corresponding
+// feature: a nil Registry records no metrics, a nil Journal no events, a
+// zero SnapshotEvery no snapshots.
+type TapConfig struct {
+	Registry *Registry
+	Journal  *Journal
+	// SnapshotEvery emits one SnapshotRecord every that many monitored
+	// accesses (0 disables snapshots).
+	SnapshotEvery uint64
+	// EventSample journals one in EventSample bypass / protected-eviction
+	// events (<= 1 journals all). Snapshots and PD recomputations are never
+	// sampled.
+	EventSample uint64
+	// Cores sizes the per-core occupancy tracking (0 means 1).
+	Cores int
+}
+
+// Tap is a cache.Monitor that feeds the telemetry pipeline: it maintains
+// registry counters and the line-lifetime histogram, journals bypass and
+// protected-line-eviction events, and emits periodic interval snapshots.
+// Attach it with cache.SetMonitor (or telemetry.Multi to share the seam
+// with other monitors). A Tap is single-goroutine, like the cache it
+// observes.
+type Tap struct {
+	c   *cache.Cache
+	cfg TapConfig
+
+	hits, inserts, evictions *Counter
+	bypasses                 *Counter
+	protEvicts               *Counter
+	lifetime                 *Histogram
+	hitRate, pdGauge, occupG *Gauge
+
+	pd   PDProvider
+	pds  MultiPDProvider
+	prot ProtectionChecker
+
+	ways     int
+	accs     uint64
+	insertAt []uint64 // SetAccesses at insert, per line (lifetime histogram)
+	owner    []int32  // owning core per line, -1 when unattributed
+	occ      []uint64 // resident line count per core
+	baseSet  []uint64 // per-set access counts at attach (skew baseline)
+
+	last      cache.Stats // stats at previous snapshot
+	byN, pvN  uint64      // sampling counters for bypass / protected-evict
+	snapshots uint64
+}
+
+// NewTap builds a Tap for c. When cfg.Cores <= 1 every line valid at
+// construction is attributed to core 0; in multi-core taps pre-existing
+// lines stay unattributed until they churn out.
+func NewTap(c *cache.Cache, cfg TapConfig) *Tap {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	ccfg := c.Config()
+	lines := ccfg.Sets * ccfg.Ways
+	prefix := ccfg.Name
+	if prefix == "" {
+		prefix = "cache"
+	}
+	prefix += "."
+	reg := cfg.Registry
+	t := &Tap{
+		c:          c,
+		cfg:        cfg,
+		hits:       reg.Counter(prefix + "hits"),
+		inserts:    reg.Counter(prefix + "inserts"),
+		evictions:  reg.Counter(prefix + "evictions"),
+		bypasses:   reg.Counter(prefix + "bypasses"),
+		protEvicts: reg.Counter(prefix + "protected_evictions"),
+		lifetime:   reg.Histogram(prefix + "line_lifetime"),
+		hitRate:    reg.Gauge(prefix + "hit_rate"),
+		pdGauge:    reg.Gauge(prefix + "pd"),
+		occupG:     reg.Gauge(prefix + "valid_frac"),
+		ways:       ccfg.Ways,
+		insertAt:   make([]uint64, lines),
+		owner:      make([]int32, lines),
+		occ:        make([]uint64, cfg.Cores),
+		baseSet:    make([]uint64, ccfg.Sets),
+		last:       c.Stats,
+	}
+	for set := 0; set < ccfg.Sets; set++ {
+		t.baseSet[set] = c.SetAccesses(set)
+		for w := 0; w < ccfg.Ways; w++ {
+			i := set*ccfg.Ways + w
+			t.owner[i] = -1
+			if c.Valid(set, w) {
+				t.insertAt[i] = t.baseSet[set]
+				if cfg.Cores == 1 {
+					t.owner[i] = 0
+					t.occ[0]++
+				}
+			}
+		}
+	}
+	return t
+}
+
+// ObservePolicy inspects pol for the optional telemetry interfaces
+// (PDProvider, MultiPDProvider, ProtectionChecker) and records whichever
+// it implements, enriching snapshots and eviction events.
+func (t *Tap) ObservePolicy(pol cache.Policy) {
+	if p, ok := pol.(PDProvider); ok {
+		t.pd = p
+	}
+	if p, ok := pol.(MultiPDProvider); ok {
+		t.pds = p
+	}
+	if p, ok := pol.(ProtectionChecker); ok {
+		t.prot = p
+	}
+}
+
+// Accesses returns the number of monitored accesses so far.
+func (t *Tap) Accesses() uint64 { return t.accs }
+
+// Snapshots returns the number of snapshots emitted so far.
+func (t *Tap) Snapshots() uint64 { return t.snapshots }
+
+// sampled reports whether the n-th event of a sampled kind is journaled.
+func (t *Tap) sampled(n uint64) bool {
+	return t.cfg.EventSample <= 1 || n%t.cfg.EventSample == 1
+}
+
+// Event implements cache.Monitor.
+func (t *Tap) Event(ev cache.Event) {
+	i := ev.Set*t.ways + ev.Way
+	switch ev.Kind {
+	case cache.EvHit:
+		t.hits.Inc()
+		t.access()
+	case cache.EvInsert:
+		t.inserts.Inc()
+		t.insertAt[i] = ev.SetAccesses
+		if old := t.owner[i]; old >= 0 {
+			t.occ[old]--
+		}
+		core := int32(0)
+		if ev.Acc.Thread > 0 && ev.Acc.Thread < len(t.occ) {
+			core = int32(ev.Acc.Thread)
+		}
+		t.owner[i] = core
+		t.occ[core]++
+		t.access()
+	case cache.EvEvict:
+		t.evictions.Inc()
+		t.lifetime.Observe(ev.SetAccesses - t.insertAt[i])
+		if old := t.owner[i]; old >= 0 {
+			t.occ[old]--
+			t.owner[i] = -1
+		}
+		if t.prot != nil && t.prot.Protected(ev.Set, ev.Way) {
+			t.protEvicts.Inc()
+			t.pvN++
+			// The nil-journal check precedes record construction: boxing
+			// the record into the Record interface allocates.
+			if t.cfg.Journal != nil && t.sampled(t.pvN) {
+				t.cfg.Journal.Append(EventRecord{
+					Kind: KindProtectedEvict, Access: t.accs + 1, Set: ev.Set, Way: ev.Way,
+					Addr: ev.Addr, Thread: ev.Acc.Thread, RPD: t.prot.RPD(ev.Set, ev.Way),
+				})
+			}
+		}
+	case cache.EvBypass:
+		t.bypasses.Inc()
+		t.byN++
+		if t.cfg.Journal != nil && t.sampled(t.byN) {
+			t.cfg.Journal.Append(EventRecord{
+				Kind: KindBypass, Access: t.accs + 1, Set: ev.Set, Way: -1,
+				Addr: ev.Addr, Thread: ev.Acc.Thread,
+			})
+		}
+		t.access()
+	}
+}
+
+// access advances monitored-access time; exactly one of hit, insert or
+// bypass terminates each cache access.
+func (t *Tap) access() {
+	t.accs++
+	if t.cfg.SnapshotEvery > 0 && t.accs%t.cfg.SnapshotEvery == 0 {
+		t.snapshot()
+	}
+}
+
+// snapshot emits one SnapshotRecord and refreshes the gauges.
+func (t *Tap) snapshot() {
+	st := t.c.Stats
+	rec := SnapshotRecord{
+		Kind:       KindSnapshot,
+		Access:     t.accs,
+		HitRate:    st.HitRate(),
+		Accesses:   st.Accesses,
+		Hits:       st.Hits,
+		Misses:     st.Misses,
+		Bypasses:   st.Bypasses,
+		Evictions:  st.Evictions,
+		Writebacks: st.Writebacks,
+	}
+	if da := st.Accesses - t.last.Accesses; da > 0 {
+		rec.IntervalHitRate = float64(st.Hits-t.last.Hits) / float64(da)
+	}
+	t.last = st
+
+	if t.pd != nil {
+		rec.PD = t.pd.PD()
+		t.pdGauge.Set(float64(rec.PD))
+	}
+	if t.pds != nil {
+		rec.PDs = t.pds.PDs()
+	}
+
+	ccfg := t.c.Config()
+	lines := ccfg.Sets * ccfg.Ways
+	valid := 0
+	for set := 0; set < ccfg.Sets; set++ {
+		for w := 0; w < ccfg.Ways; w++ {
+			if t.c.Valid(set, w) {
+				valid++
+			}
+		}
+	}
+	rec.ValidFrac = float64(valid) / float64(lines)
+	rec.Occupancy = make([]float64, len(t.occ))
+	for i, n := range t.occ {
+		rec.Occupancy[i] = float64(n) / float64(lines)
+	}
+	rec.SetSkew, rec.SetCV = t.setSkew()
+
+	t.hitRate.Set(rec.HitRate)
+	t.occupG.Set(rec.ValidFrac)
+	t.snapshots++
+	t.cfg.Journal.Append(rec)
+}
+
+// setSkew summarizes the per-set access distribution since the Tap
+// attached: max/mean (1 = uniform) and the coefficient of variation.
+func (t *Tap) setSkew() (skew, cv float64) {
+	sets := len(t.baseSet)
+	var sum, sumSq, max float64
+	for set := 0; set < sets; set++ {
+		v := float64(t.c.SetAccesses(set) - t.baseSet[set])
+		sum += v
+		sumSq += v * v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 0, 0
+	}
+	mean := sum / float64(sets)
+	variance := sumSq/float64(sets) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return max / mean, math.Sqrt(variance) / mean
+}

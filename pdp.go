@@ -33,6 +33,7 @@ import (
 	"pdp/internal/rrip"
 	"pdp/internal/sampler"
 	"pdp/internal/sdp"
+	"pdp/internal/telemetry"
 	"pdp/internal/trace"
 )
 
@@ -285,6 +286,49 @@ type SHiP = rrip.SHiP
 
 // NewSHiP builds a SHiP-PC policy.
 var NewSHiP = rrip.NewSHiP
+
+// Observability: the telemetry layer (metrics registry, event journal,
+// interval snapshots, profiling hooks).
+type (
+	// TelemetryRegistry is a namespace of named counters, gauges and
+	// log2-bucketed histograms with atomic updates.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetryJournal is a bounded ring of structured records with an
+	// optional JSONL sink.
+	TelemetryJournal = telemetry.Journal
+	// TelemetryTap is a cache monitor feeding the telemetry pipeline.
+	TelemetryTap = telemetry.Tap
+	// TelemetryTapConfig parameterizes a Tap.
+	TelemetryTapConfig = telemetry.TapConfig
+	// TelemetryRecord is one journal entry.
+	TelemetryRecord = telemetry.Record
+	// TelemetrySnapshot is the periodic interval-snapshot record.
+	TelemetrySnapshot = telemetry.SnapshotRecord
+	// PDPRecomputeEvent describes one dynamic PD recomputation.
+	PDPRecomputeEvent = core.RecomputeEvent
+	// SamplerStats counts RD-sampler activity.
+	SamplerStats = sampler.Stats
+)
+
+// Telemetry constructors and helpers.
+var (
+	// NewTelemetryRegistry builds an empty metrics registry.
+	NewTelemetryRegistry = telemetry.NewRegistry
+	// NewTelemetryJournal builds a journal with the given ring size.
+	NewTelemetryJournal = telemetry.NewJournal
+	// NewTelemetryTap builds a cache tap.
+	NewTelemetryTap = telemetry.NewTap
+	// MultiMonitor fans cache events out to several monitors.
+	MultiMonitor = telemetry.Multi
+	// ObservePDP journals a PDP policy's recomputations and sampler events.
+	ObservePDP = telemetry.ObservePDP
+	// ServeDebug starts a /debug/pprof + /debug/vars HTTP server.
+	ServeDebug = telemetry.ServeDebug
+	// StartCPUProfile begins a CPU profile; call the returned stop.
+	StartCPUProfile = telemetry.StartCPUProfile
+	// WriteHeapProfile writes a heap profile.
+	WriteHeapProfile = telemetry.WriteHeapProfile
+)
 
 // AIP-related façade entries (counter-based replacement/bypass, the
 // paper's reference [19]).
