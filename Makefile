@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench repro clean
+.PHONY: check build vet test race bench repro fuzz faultcamp clean
 
 # check is the CI gate: build, vet, race-enabled tests.
 check: build vet race
@@ -15,7 +15,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Telemetry overhead guard: disabled vs attached tap on the PDP-8 hot path.
 bench:
@@ -23,3 +23,13 @@ bench:
 
 repro:
 	$(GO) run ./cmd/repro all
+
+# Fuzz smoke: the two untrusted decoders (trace files, checkpoints).
+fuzz:
+	$(GO) test ./internal/tracefile/ -run FuzzReader -fuzz FuzzReader -fuzztime 20s
+	$(GO) test ./internal/resilience/ -run FuzzDecodeCheckpoint -fuzz FuzzDecodeCheckpoint -fuzztime 20s
+
+# Short fault campaign: clean vs injected run + graceful-degradation checks.
+faultcamp:
+	$(GO) run ./cmd/repro -scale 0.2 \
+		-inject 'trace.corrupt=1e-3,counter.flip=1e-3,pd.bias=16,seed=7' faultcamp

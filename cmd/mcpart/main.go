@@ -13,9 +13,13 @@
 //
 // With -telemetry, snapshots carry per-core occupancy and (for the
 // PD-partitioning policies) the per-thread protecting distances.
+//
+// -timeout sets a watchdog on the run; -inject applies seeded faults to
+// the mix's trace streams (see README "Robustness").
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,7 +27,9 @@ import (
 	"strings"
 
 	"pdp/internal/experiments"
+	"pdp/internal/faultinject"
 	"pdp/internal/metrics"
+	"pdp/internal/resilience"
 	"pdp/internal/telemetry"
 	"pdp/internal/workload"
 )
@@ -39,6 +45,8 @@ func main() {
 	telemetryOut := flag.String("telemetry", "", "write a JSONL telemetry journal to this file")
 	snapshotEvery := flag.Uint64("snapshot-every", 0, "emit a telemetry snapshot every N measured accesses (0 disables)")
 	journalSample := flag.Uint64("journal-sample", 1024, "journal 1 in N bypass/eviction events (1 = all)")
+	timeout := flag.Duration("timeout", 0, "watchdog timeout for the run (0 disables)")
+	inject := flag.String("inject", "", "fault-injection spec for the mix's trace streams (key=value,...)")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -115,15 +123,41 @@ func main() {
 		}
 	}
 
-	res := experiments.RunMixTelemetry(mix, spec, *perThread, *seed, experiments.TelemetryOptions{
-		Registry:      reg,
-		Journal:       journal,
-		SnapshotEvery: *snapshotEvery,
-		EventSample:   *journalSample,
-	})
+	faults, err := faultinject.Parse(*inject)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// Supervised run: SIGINT/SIGTERM and the optional watchdog cancel the
+	// mix cooperatively via guarded generators.
+	ctx, cancel := resilience.WithShutdown(context.Background())
+	defer cancel()
+	rep := faultinject.NewReporter(journal)
+	sup := &resilience.Supervisor{Timeout: *timeout, Journal: journal}
+	var res experiments.MixResult
 	single := make([]float64, len(mix.Benchs))
-	for t, b := range mix.Benchs {
-		single[t] = experiments.SingleIPC(b, *cores, *perThread, *seed)
+	out := sup.Run(ctx, "mix", func(runCtx context.Context, hb *resilience.Heartbeat) error {
+		rcfg := experiments.Config{Ctx: runCtx, Heartbeat: hb}
+		m := rcfg.Mix(faultinject.WrapMix(mix, faults, rep))
+		res = experiments.RunMixTelemetry(m, spec, *perThread, *seed, experiments.TelemetryOptions{
+			Registry:      reg,
+			Journal:       journal,
+			SnapshotEvery: *snapshotEvery,
+			EventSample:   *journalSample,
+		})
+		for t, b := range m.Benchs {
+			single[t] = experiments.SingleIPC(b, *cores, *perThread, *seed)
+		}
+		return nil
+	})
+	if out.Err != nil {
+		journal.Flush()
+		fmt.Fprintln(os.Stderr, out.Err)
+		os.Exit(1)
+	}
+	if rep.Total() > 0 {
+		fmt.Fprintf(os.Stderr, "[injected %d faults: %v]\n", rep.Total(), rep.Counts())
 	}
 
 	if err := journal.Flush(); err != nil {

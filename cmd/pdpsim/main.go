@@ -21,15 +21,29 @@
 //	-pprof ADDR          live pprof/expvar HTTP server for long runs
 //	-cpuprofile FILE     CPU profile of the run
 //	-memprofile FILE     heap profile at exit
+//
+// Robustness (see README "Robustness"):
+//
+//	-timeout D           watchdog: fail the run after D wall-clock time
+//	-checkpoint FILE     save the trace offset periodically; with -resume,
+//	                     restart an interrupted run from the saved offset
+//	-resume              resume from the checkpoint's saved offset
+//	-inject SPEC         seeded fault injection (trace + PDP sampler faults)
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	"pdp/internal/cache"
+	"pdp/internal/core"
 	"pdp/internal/experiments"
+	"pdp/internal/faultinject"
+	"pdp/internal/resilience"
 	"pdp/internal/telemetry"
 	"pdp/internal/tracefile"
 	"pdp/internal/workload"
@@ -47,6 +61,11 @@ func main() {
 	telemetryOut := flag.String("telemetry", "", "write a JSONL telemetry journal to this file")
 	snapshotEvery := flag.Uint64("snapshot-every", 0, "emit a telemetry snapshot every N measured accesses (0 disables)")
 	journalSample := flag.Uint64("journal-sample", 1024, "journal 1 in N bypass/eviction/sampler events (1 = all)")
+	timeout := flag.Duration("timeout", 0, "watchdog timeout for the run (0 disables)")
+	checkpoint := flag.String("checkpoint", "", "save the run's trace offset to this JSON file for -resume")
+	resume := flag.Bool("resume", false, "resume the measured window from the checkpoint's saved offset")
+	inject := flag.String("inject", "", "fault-injection spec (key=value,... ; see README)")
+	checkpointEvery := flag.Uint64("checkpoint-every", 100_000, "checkpoint offset cadence in measured accesses")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -96,6 +115,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	faults, err := faultinject.Parse(*inject)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "-resume needs -checkpoint FILE")
+		os.Exit(2)
+	}
 
 	// Profiling hooks.
 	if *pprofAddr != "" {
@@ -132,12 +160,105 @@ func main() {
 		}
 	}
 
-	r := experiments.RunSingleTelemetry(b, spec, *n, *seed, experiments.TelemetryOptions{
-		Registry:      reg,
-		Journal:       journal,
-		SnapshotEvery: *snapshotEvery,
-		EventSample:   *journalSample,
+	// Resilient run: graceful shutdown on SIGINT/SIGTERM, optional watchdog,
+	// seeded fault injection, and periodic offset checkpointing so -resume
+	// can restart a long window where it stopped (generators are
+	// deterministic, so the skipped prefix is replayed, not re-measured).
+	ctx, cancel := resilience.WithShutdown(context.Background())
+	defer cancel()
+
+	key := resilience.RunKey(b.Name+"/"+spec.Name, *n, *seed)
+	var ck *resilience.Checkpoint
+	var start uint64
+	if *checkpoint != "" {
+		if *resume {
+			ck, err = resilience.LoadCheckpoint(*checkpoint)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if start = ck.Offset(key); start > 0 {
+				fmt.Fprintf(os.Stderr, "[resuming %s at measured access %d]\n", key, start)
+			}
+		} else {
+			ck = resilience.NewCheckpoint()
+		}
+	}
+	saveCk := func() {
+		err := resilience.Retry(ctx, resilience.RetryConfig{
+			Name: "checkpoint.save", Journal: journal,
+			Transient: func(error) bool { return true },
+		}, func() error { return ck.Save(*checkpoint, journal) })
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+		}
+	}
+
+	rep := faultinject.NewReporter(journal)
+	sup := &resilience.Supervisor{Timeout: *timeout, Journal: journal}
+	var r experiments.RunResult
+	out := sup.Run(ctx, b.Name, func(runCtx context.Context, hb *resilience.Heartbeat) error {
+		rcfg := experiments.Config{Ctx: runCtx, Heartbeat: hb}
+		if faults.TraceEnabled() {
+			rcfg.WrapBench = func(wb workload.Benchmark) workload.Benchmark {
+				return faultinject.WrapBenchmark(wb, faults, rep)
+			}
+		}
+		opt := experiments.RunOptions{
+			Telemetry: experiments.TelemetryOptions{
+				Registry:      reg,
+				Journal:       journal,
+				SnapshotEvery: *snapshotEvery,
+				EventSample:   *journalSample,
+				Attach: func(_ *cache.Cache, pol cache.Policy) cache.Monitor {
+					p, _ := pol.(*core.PDP)
+					return faultinject.NewPDPInjector(p, faults, rep)
+				},
+			},
+			StartAccess: start,
+		}
+		if ck != nil && *checkpointEvery > 0 {
+			opt.ProgressEvery = *checkpointEvery
+			opt.OnProgress = func(done uint64) {
+				ck.SetOffset(key, done)
+				saveCk()
+			}
+		}
+		r = experiments.RunSingleResilient(rcfg.Bench(b), spec, *n, *seed, opt)
+		return nil
 	})
+	if out.Err != nil {
+		if ck != nil {
+			// A watchdog expiry carries the guarded generator's last beat
+			// (total generator accesses); anything past warm-up is measured
+			// progress the next run can skip. Periodic OnProgress saves
+			// cover the SIGINT path.
+			var wd *resilience.WatchdogError
+			warm := int64(experiments.Warmup(*n))
+			if errors.As(out.Err, &wd) && wd.LastBeat > warm {
+				off := uint64(wd.LastBeat - warm)
+				if off > uint64(*n) {
+					off = uint64(*n)
+				}
+				ck.SetOffset(key, off)
+			}
+			if off := ck.Offset(key); off > 0 {
+				saveCk()
+				fmt.Fprintf(os.Stderr, "[offset %d saved; rerun with -checkpoint %s -resume]\n", off, *checkpoint)
+			}
+		}
+		journal.Flush()
+		fmt.Fprintln(os.Stderr, out.Err)
+		os.Exit(1)
+	}
+	if ck != nil {
+		ck.ClearOffset(key)
+		ck.MarkDone(key, out.Duration)
+		saveCk()
+	}
+	if rep.Total() > 0 {
+		fmt.Fprintf(os.Stderr, "[injected %d faults: %v]\n", rep.Total(), rep.Counts())
+	}
 
 	if err := journal.Flush(); err != nil {
 		fmt.Fprintf(os.Stderr, "telemetry journal: %v\n", err)

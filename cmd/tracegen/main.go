@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"pdp/internal/trace"
 	"pdp/internal/tracefile"
 	"pdp/internal/workload"
 )
@@ -23,6 +24,17 @@ func main() {
 	sets := flag.Int("sets", 2048, "target LLC sets the model is built for")
 	seed := flag.Uint64("seed", 42, "random seed")
 	flag.Parse()
+
+	// Validate at the flag boundary: bad parameters get a usage error here
+	// instead of a raw panic from deep inside a generator constructor.
+	if *n <= 0 {
+		fmt.Fprintf(os.Stderr, "-n must be positive, got %d\n", *n)
+		os.Exit(2)
+	}
+	if *sets <= 0 {
+		fmt.Fprintf(os.Stderr, "-sets must be positive, got %d\n", *sets)
+		os.Exit(2)
+	}
 
 	b, ok := workload.ByName(*bench)
 	if !ok {
@@ -45,7 +57,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	g := b.Generator(*sets, 1, *seed)
+	// Generator constructors panic on invalid parameters; turn any
+	// remaining one into a usage error rather than a stack trace.
+	var g trace.Generator
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				fmt.Fprintf(os.Stderr, "building %s generator: %v\n", b.Name, v)
+				os.Exit(2)
+			}
+		}()
+		g = b.Generator(*sets, 1, *seed)
+	}()
 	for i := 0; i < *n; i++ {
 		if err := w.Write(g.Next()); err != nil {
 			fmt.Fprintln(os.Stderr, err)

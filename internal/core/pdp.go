@@ -65,6 +65,11 @@ type Config struct {
 	// (observability seam; internal/telemetry journals these). It can also
 	// be attached after construction with SetObserver.
 	Observer func(RecomputeEvent)
+	// PDPerturb, when non-nil, maps each recomputed PD to the value actually
+	// installed (fault-injection seam; internal/faultinject drives it). The
+	// result is clamped to [1, DMax] regardless, so no perturbation — or
+	// solver bug — can ever install an out-of-range protecting distance.
+	PDPerturb func(pd int) int
 }
 
 func (c *Config) setDefaults() {
@@ -223,6 +228,31 @@ func (p *PDP) Accesses() uint64 { return p.accs }
 // SetObserver attaches (or, with nil, detaches) the recompute observer.
 func (p *PDP) SetObserver(f func(RecomputeEvent)) { p.cfg.Observer = f }
 
+// AddObserver chains f after any existing recompute observer, so several
+// subsystems (telemetry journaling, invariant checkers) can watch the same
+// policy. A nil f is a no-op.
+func (p *PDP) AddObserver(f func(RecomputeEvent)) {
+	if f == nil {
+		return
+	}
+	prev := p.cfg.Observer
+	if prev == nil {
+		p.cfg.Observer = f
+		return
+	}
+	p.cfg.Observer = func(ev RecomputeEvent) {
+		prev(ev)
+		f(ev)
+	}
+}
+
+// SetPDPerturb attaches (or, with nil, detaches) the fault-injection PD
+// perturbation hook; see Config.PDPerturb.
+func (p *PDP) SetPDPerturb(f func(pd int) int) { p.cfg.PDPerturb = f }
+
+// DMax returns the maximum protecting distance (the PD clamp ceiling).
+func (p *PDP) DMax() int { return p.cfg.DMax }
+
 // steps converts a protecting distance in accesses to RPD steps.
 func (p *PDP) steps(pd int) uint16 {
 	s := (pd + p.sd - 1) / p.sd
@@ -341,6 +371,17 @@ func (p *PDP) recompute() {
 	old := p.pd
 	if pd := p.cfg.Solver.FindPD(arr, p.cfg.DE); pd > 0 {
 		p.pd = pd
+	}
+	if p.cfg.PDPerturb != nil {
+		p.pd = p.cfg.PDPerturb(p.pd)
+	}
+	// Graceful-degradation invariant: the installed PD stays in [1, DMax]
+	// whatever the solver — or an injected fault — produced.
+	if p.pd < 1 {
+		p.pd = 1
+	}
+	if p.pd > p.cfg.DMax {
+		p.pd = p.cfg.DMax
 	}
 	p.Recomputes++
 	if p.cfg.Observer != nil {

@@ -44,7 +44,7 @@ func OptGap(cfg Config) error {
 		if err != nil {
 			return err
 		}
-		base := RunSingle(b, specDIP(), cfg.Accesses, cfg.Seed)
+		base := RunSingle(cfg.Bench(b), specDIP(), cfg.Accesses, cfg.Seed)
 		head := float64(ost.Hits) - float64(base.Stats.Hits)
 		// Benchmarks where DIP already sits at OPT (streaming,
 		// LRU-friendly) have no headroom to recover; exclude them from the
@@ -53,7 +53,7 @@ func OptGap(cfg Config) error {
 		fmt.Fprintf(tw, "%s\t%.1f\t%.1f", b.Name,
 			100*base.Stats.HitRate(), 100*ost.HitRate())
 		for _, s := range specs {
-			r := RunSingle(b, s, cfg.Accesses, cfg.Seed)
+			r := RunSingle(cfg.Bench(b), s, cfg.Accesses, cfg.Seed)
 			if !meaningful {
 				fmt.Fprintf(tw, "\t(n/a)")
 				continue
@@ -106,10 +106,10 @@ func ClassPDPExp(cfg Config) error {
 	fmt.Fprintln(tw, "benchmark\tSDP\tSHiP\tAIP\tPDP-8\tPDP-C8")
 	avg := map[string][]float64{}
 	for _, b := range workload.Suite() {
-		base := RunSingle(b, specDIP(), cfg.Accesses, cfg.Seed)
+		base := RunSingle(cfg.Bench(b), specDIP(), cfg.Accesses, cfg.Seed)
 		fmt.Fprintf(tw, "%s", b.Name)
 		for _, s := range specs {
-			r := RunSingle(b, s, cfg.Accesses, cfg.Seed)
+			r := RunSingle(cfg.Bench(b), s, cfg.Accesses, cfg.Seed)
 			imp := metrics.Improvement(r.IPC, base.IPC)
 			fmt.Fprintf(tw, "\t%s", fmtPct(imp))
 			avg[s.Name] = append(avg[s.Name], imp)
@@ -142,12 +142,12 @@ func Energy(cfg Config) error {
 	var avg = map[string][]float64{}
 	var wAvg []float64
 	for _, b := range workload.Suite() {
-		base := RunSingle(b, specDIP(), cfg.Accesses, cfg.Seed)
+		base := RunSingle(cfg.Bench(b), specDIP(), cfg.Accesses, cfg.Seed)
 		be := model.Estimate(base.Stats.Hits, base.Stats.Inserts, base.Stats.Bypasses, base.Stats.Misses)
 		fmt.Fprintf(tw, "%s", b.Name)
 		var pdpWrite float64
 		for _, s := range specs {
-			r := RunSingle(b, s, cfg.Accesses, cfg.Seed)
+			r := RunSingle(cfg.Bench(b), s, cfg.Accesses, cfg.Seed)
 			e := model.Estimate(r.Stats.Hits, r.Stats.Inserts, r.Stats.Bypasses, r.Stats.Misses)
 			rel := metrics.Reduction(e.Total(), be.Total())
 			fmt.Fprintf(tw, "\t%s", fmtPct(rel))

@@ -241,10 +241,10 @@ func Fig12(cfg Config) error {
 				}
 				return w, t, h
 			}
-			baseW, baseT, baseH := eval(RunMix(m, policies[0], cfg.MCAccessesPerThread, cfg.Seed+uint64(m.ID)))
+			baseW, baseT, baseH := eval(RunMix(cfg.Mix(m), policies[0], cfg.MCAccessesPerThread, cfg.Seed+uint64(m.ID)))
 			fmt.Fprintf(tw, "%d\t%s", m.ID, shortNames(m.Names))
 			for _, p := range policies[1:] {
-				w, t, h := eval(RunMix(m, p, cfg.MCAccessesPerThread, cfg.Seed+uint64(m.ID)))
+				w, t, h := eval(RunMix(cfg.Mix(m), p, cfg.MCAccessesPerThread, cfg.Seed+uint64(m.ID)))
 				dw := metrics.Improvement(w, baseW)
 				dt := metrics.Improvement(t, baseT)
 				dh := metrics.Improvement(h, baseH)

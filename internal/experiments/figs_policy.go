@@ -39,10 +39,10 @@ func Fig2(cfg Config) error {
 		if !ok {
 			return fmt.Errorf("unknown benchmark %s", name)
 		}
-		base := RunSingle(b, specDRRIP(1.0/32), cfg.Accesses, cfg.Seed).MPKI
+		base := RunSingle(cfg.Bench(b), specDRRIP(1.0/32), cfg.Accesses, cfg.Seed).MPKI
 		fmt.Fprint(tw, name)
 		for _, e := range epsilons {
-			r := RunSingle(b, specDRRIP(e), cfg.Accesses, cfg.Seed)
+			r := RunSingle(cfg.Bench(b), specDRRIP(e), cfg.Accesses, cfg.Seed)
 			fmt.Fprintf(tw, "\t%.3f", r.MPKI/base)
 		}
 		fmt.Fprintln(tw)
@@ -73,10 +73,10 @@ func Fig4(cfg Config) error {
 	fmt.Fprintln(tw, "benchmark\tDRRIP best-eps\tSPDP-NB\t(best PD)\tSPDP-B\t(best PD)")
 	var dAvg, nbAvg, bAvg []float64
 	for _, b := range workload.All() {
-		base := RunSingle(b, specDRRIP(1.0/32), cfg.Accesses, cfg.Seed)
-		bd, _ := bestOver(b, epsilons, specDRRIP, cfg.Accesses, cfg.Seed)
-		bnb, pdNB := bestOver(b, staticPDs(), func(pd int) PolicySpec { return specSPDP(pd, false) }, cfg.Accesses, cfg.Seed)
-		bb, pdB := bestOver(b, staticPDs(), func(pd int) PolicySpec { return specSPDP(pd, true) }, cfg.Accesses, cfg.Seed)
+		base := RunSingle(cfg.Bench(b), specDRRIP(1.0/32), cfg.Accesses, cfg.Seed)
+		bd, _ := bestOver(cfg.Bench(b), epsilons, specDRRIP, cfg.Accesses, cfg.Seed)
+		bnb, pdNB := bestOver(cfg.Bench(b), staticPDs(), func(pd int) PolicySpec { return specSPDP(pd, false) }, cfg.Accesses, cfg.Seed)
+		bb, pdB := bestOver(cfg.Bench(b), staticPDs(), func(pd int) PolicySpec { return specSPDP(pd, true) }, cfg.Accesses, cfg.Seed)
 		rd := metrics.Reduction(float64(bd.Stats.Misses), float64(base.Stats.Misses))
 		rnb := metrics.Reduction(float64(bnb.Stats.Misses), float64(base.Stats.Misses))
 		rb := metrics.Reduction(float64(bb.Stats.Misses), float64(base.Stats.Misses))
@@ -159,15 +159,15 @@ func Fig5a(cfg Config) error {
 			return fmt.Errorf("unknown benchmark %s", name)
 		}
 		// Use each policy's best static PD from a quick sweep.
-		_, pdNB := bestOver(b, staticPDs(), func(pd int) PolicySpec { return specSPDP(pd, false) }, cfg.Accesses/2, cfg.Seed)
-		_, pdB := bestOver(b, staticPDs(), func(pd int) PolicySpec { return specSPDP(pd, true) }, cfg.Accesses/2, cfg.Seed)
+		_, pdNB := bestOver(cfg.Bench(b), staticPDs(), func(pd int) PolicySpec { return specSPDP(pd, false) }, cfg.Accesses/2, cfg.Seed)
+		_, pdB := bestOver(cfg.Bench(b), staticPDs(), func(pd int) PolicySpec { return specSPDP(pd, true) }, cfg.Accesses/2, cfg.Seed)
 		specs := []PolicySpec{specDRRIP(1.0 / 32), specSPDP(pdNB, false), specSPDP(pdB, true)}
 		fmt.Fprintf(cfg.Out, "%s\n", name)
 		tw := table(cfg.Out)
 		fmt.Fprintln(tw, "policy\thit%\tbypass%\tevict<=16%\tevict>16%\t|\tocc promoted%\tocc evict<=16%\tocc evict>16%")
 		for _, spec := range specs {
 			mon := newOccMonitor(LLCSets, LLCWays)
-			r := RunSingleMonitored(b, spec, cfg.Accesses, cfg.Seed, mon)
+			r := RunSingleMonitored(cfg.Bench(b), spec, cfg.Accesses, cfg.Seed, mon)
 			tot := float64(r.Stats.Accesses)
 			occTot := float64(mon.OccPromoted + mon.OccEvictShort + mon.OccEvictLong)
 			if occTot == 0 {
@@ -216,10 +216,10 @@ func Fig9(cfg Config) error {
 	}
 	fmt.Fprintln(tw)
 	for _, b := range workload.Suite() {
-		base := RunSingle(b, configs[0], cfg.Accesses, cfg.Seed).MPKI
+		base := RunSingle(cfg.Bench(b), configs[0], cfg.Accesses, cfg.Seed).MPKI
 		fmt.Fprint(tw, b.Name)
 		for _, c := range configs {
-			r := RunSingle(b, c, cfg.Accesses, cfg.Seed)
+			r := RunSingle(cfg.Bench(b), c, cfg.Accesses, cfg.Seed)
 			norm := 1.0
 			if base > 0 {
 				norm = r.MPKI / base
@@ -260,12 +260,12 @@ func Fig10(cfg Config) error {
 	avgIPC := map[string][]float64{}
 	avgByp := map[string][]float64{}
 	for _, b := range workload.All() {
-		base := RunSingle(b, specDIP(), cfg.Accesses, cfg.Seed)
+		base := RunSingle(cfg.Bench(b), specDIP(), cfg.Accesses, cfg.Seed)
 		results := make([]RunResult, 0, len(specs)+1)
 		for _, s := range specs {
-			results = append(results, RunSingle(b, s, cfg.Accesses, cfg.Seed))
+			results = append(results, RunSingle(cfg.Bench(b), s, cfg.Accesses, cfg.Seed))
 		}
-		spdpb, _ := bestOver(b, coarse, func(pd int) PolicySpec { return specSPDP(pd, true) }, cfg.Accesses, cfg.Seed)
+		spdpb, _ := bestOver(cfg.Bench(b), coarse, func(pd int) PolicySpec { return specSPDP(pd, true) }, cfg.Accesses, cfg.Seed)
 		spdpb.Policy = "SPDP-B"
 		results = append(results, spdpb)
 
@@ -336,7 +336,7 @@ func Fig11(cfg Config) error {
 		var base float64
 		fmt.Fprint(tw, b.Name)
 		for i, iv := range intervals {
-			r := RunSingle(b, mkPDP(iv), cfg.Accesses*2, cfg.Seed)
+			r := RunSingle(cfg.Bench(b), mkPDP(iv), cfg.Accesses*2, cfg.Seed)
 			if i == 0 {
 				base = r.IPC
 			}
@@ -350,9 +350,9 @@ func Fig11(cfg Config) error {
 	tw = table(cfg.Out)
 	fmt.Fprintln(tw, "benchmark\tDRRIP\tPDP-8")
 	for _, b := range workload.Phased() {
-		base := RunSingle(b, specDIP(), cfg.Accesses*2, cfg.Seed)
-		d := RunSingle(b, specDRRIP(1.0/32), cfg.Accesses*2, cfg.Seed)
-		p := RunSingle(b, mkPDP(65536), cfg.Accesses*2, cfg.Seed)
+		base := RunSingle(cfg.Bench(b), specDIP(), cfg.Accesses*2, cfg.Seed)
+		d := RunSingle(cfg.Bench(b), specDRRIP(1.0/32), cfg.Accesses*2, cfg.Seed)
+		p := RunSingle(cfg.Bench(b), mkPDP(65536), cfg.Accesses*2, cfg.Seed)
 		fmt.Fprintf(tw, "%s\t%s\t%s\n", b.Name,
 			fmtPct(metrics.Improvement(d.IPC, base.IPC)),
 			fmtPct(metrics.Improvement(p.IPC, base.IPC)))
@@ -383,7 +383,7 @@ func Fig11(cfg Config) error {
 func Sec63(cfg Config) error {
 	header(cfg.Out, "sec63", "429.mcf: insertion with PD=1 (miss reduction vs DIP)")
 	b, _ := workload.ByName("429.mcf")
-	base := RunSingle(b, specDIP(), cfg.Accesses, cfg.Seed)
+	base := RunSingle(cfg.Bench(b), specDIP(), cfg.Accesses, cfg.Seed)
 	recompute := uint64(cfg.Accesses / 8)
 	specs := []PolicySpec{
 		specDRRIP(1.0 / 32),
@@ -393,11 +393,11 @@ func Sec63(cfg Config) error {
 				RecomputeEvery: recompute, InsertPD: 1})
 		}},
 	}
-	spdpb, pd := bestOver(b, staticPDs(), func(pd int) PolicySpec { return specSPDP(pd, true) }, cfg.Accesses, cfg.Seed)
+	spdpb, pd := bestOver(cfg.Bench(b), staticPDs(), func(pd int) PolicySpec { return specSPDP(pd, true) }, cfg.Accesses, cfg.Seed)
 	tw := table(cfg.Out)
 	fmt.Fprintln(tw, "policy\tmiss reduction vs DIP")
 	for _, s := range specs {
-		r := RunSingle(b, s, cfg.Accesses, cfg.Seed)
+		r := RunSingle(cfg.Bench(b), s, cfg.Accesses, cfg.Seed)
 		fmt.Fprintf(tw, "%s\t%s\n", s.Name, fmtPct(metrics.Reduction(float64(r.Stats.Misses), float64(base.Stats.Misses))))
 	}
 	fmt.Fprintf(tw, "SPDP-B(best=%d)\t%s\n", pd, fmtPct(metrics.Reduction(float64(spdpb.Stats.Misses), float64(base.Stats.Misses))))

@@ -111,7 +111,7 @@ func Fig6(cfg Config) error {
 		bestModel, bestMeasured := 0, 0
 		bestE, bestHR := -1.0, -1.0
 		for dp := 16; dp <= 256; dp += 16 {
-			r := RunSingle(b, specSPDP(dp, true), cfg.Accesses, cfg.Seed)
+			r := RunSingle(cfg.Bench(b), specSPDP(dp, true), cfg.Accesses, cfg.Seed)
 			k := dp/4 - 1
 			e := 0.0
 			if maxE > 0 {

@@ -4,6 +4,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -14,6 +15,7 @@ import (
 	"pdp/internal/cpu"
 	"pdp/internal/dip"
 	"pdp/internal/eelru"
+	"pdp/internal/resilience"
 	"pdp/internal/rrip"
 	"pdp/internal/sdp"
 	"pdp/internal/telemetry"
@@ -40,6 +42,48 @@ type Config struct {
 	Seed uint64
 	// Out receives the rendered tables.
 	Out io.Writer
+	// Ctx, when non-nil, cancels in-flight runs cooperatively: every
+	// benchmark routed through Bench/Mix gets a guarded generator
+	// (resilience.GuardGenerator), so the run must execute under
+	// resilience.Supervisor.Run to absorb the cancellation.
+	Ctx context.Context
+	// Heartbeat, when non-nil, receives progress beats from guarded
+	// generators (the supervisor's watchdog reads it).
+	Heartbeat *resilience.Heartbeat
+	// WrapBench, when non-nil, wraps each benchmark routed through
+	// Bench/Mix before the cancellation guard — the fault-injection seam
+	// (cmd/repro installs faultinject.WrapBenchmark here).
+	WrapBench func(workload.Benchmark) workload.Benchmark
+}
+
+// Bench applies the config's run instrumentation to b: the WrapBench
+// fault-injection wrapper first, then the cancellation guard. With neither
+// configured it returns b unchanged.
+func (cfg Config) Bench(b workload.Benchmark) workload.Benchmark {
+	if cfg.WrapBench != nil {
+		b = cfg.WrapBench(b)
+	}
+	if cfg.Ctx != nil {
+		ctx, hb := cfg.Ctx, cfg.Heartbeat
+		build := b.Build
+		b.Build = func(sets int, base, seed uint64) trace.Generator {
+			return resilience.GuardGenerator(ctx, build(sets, base, seed), 0, hb)
+		}
+	}
+	return b
+}
+
+// Mix applies Bench to every benchmark of a multi-programmed mix.
+func (cfg Config) Mix(m workload.Mix) workload.Mix {
+	if cfg.WrapBench == nil && cfg.Ctx == nil {
+		return m
+	}
+	benchs := make([]workload.Benchmark, len(m.Benchs))
+	for i, b := range m.Benchs {
+		benchs[i] = cfg.Bench(b)
+	}
+	m.Benchs = benchs
+	return m
 }
 
 // DefaultConfig returns a configuration sized for minutes-scale runs.
@@ -155,32 +199,56 @@ func Warmup(n int) int {
 // RunSingleMonitored is RunSingle with an attached cache monitor. Warm-up
 // accesses run before counters (and the monitor) start.
 func RunSingleMonitored(b workload.Benchmark, spec PolicySpec, n int, seed uint64, mon cache.Monitor) RunResult {
-	return runSingle(b, spec, n, seed, func(c *cache.Cache, _ cache.Policy) {
+	return runSingle(b, spec, n, seed, runOpts{attach: func(c *cache.Cache, _ cache.Policy) {
 		if mon != nil {
 			c.SetMonitor(mon)
 		}
-	})
+	}})
+}
+
+// runOpts are the internal knobs of runSingle.
+type runOpts struct {
+	attach        func(*cache.Cache, cache.Policy)
+	start         uint64 // resume the measured window at this offset
+	onProgress    func(done uint64)
+	progressEvery uint64
 }
 
 // runSingle drives one single-core run; attach, called on the warmed-up
 // cache just before the measured window (stats freshly reset), installs
-// any observers.
-func runSingle(b workload.Benchmark, spec PolicySpec, n int, seed uint64, attach func(*cache.Cache, cache.Policy)) RunResult {
+// any observers. A positive start offset replays that many measured-window
+// accesses unmeasured first — generators are deterministic, so the replay
+// rebuilds the exact cache state of the interrupted run — and measures
+// only the remainder.
+func runSingle(b workload.Benchmark, spec PolicySpec, n int, seed uint64, opt runOpts) RunResult {
 	pol := spec.New(LLCSets, LLCWays, seed)
 	c := cache.New(cache.Config{
 		Name: "LLC", Sets: LLCSets, Ways: LLCWays, LineSize: trace.LineSize,
 		AllowBypass: spec.Bypass,
 	}, pol)
 	g := b.Generator(LLCSets, 1, seed)
-	for i := Warmup(n); i > 0; i-- {
+	skip := int(opt.start)
+	if skip > n {
+		skip = n
+	}
+	for i := Warmup(n) + skip; i > 0; i-- {
 		c.Access(g.Next())
 	}
 	c.Stats = cache.Stats{}
-	if attach != nil {
-		attach(c, pol)
+	if opt.attach != nil {
+		opt.attach(c, pol)
 	}
-	for i := 0; i < n; i++ {
-		c.Access(g.Next())
+	if opt.progressEvery > 0 && opt.onProgress != nil {
+		for i := skip; i < n; i++ {
+			c.Access(g.Next())
+			if done := uint64(i + 1); done%opt.progressEvery == 0 {
+				opt.onProgress(done)
+			}
+		}
+	} else {
+		for i := skip; i < n; i++ {
+			c.Access(g.Next())
+		}
 	}
 	instr := cpu.Instructions(c.Stats.Accesses, b.APKI)
 	model := cpu.Default()
@@ -213,6 +281,11 @@ type TelemetryOptions struct {
 	EventSample uint64
 	// Extra is an additional cache monitor observing the same run.
 	Extra cache.Monitor
+	// Attach, when non-nil, runs on the warmed-up cache and policy just
+	// before the measured window and may return one more monitor to fan
+	// in (nil is fine). Fault injectors and invariant checkers that need
+	// the policy instance hook in here.
+	Attach func(*cache.Cache, cache.Policy) cache.Monitor
 }
 
 // RunSingleTelemetry is RunSingle with the full telemetry pipeline
@@ -220,7 +293,12 @@ type TelemetryOptions struct {
 // protected-eviction events), the PDP recompute observer and the sampler
 // FIFO hook when the policy is a dynamic PDP, plus opt.Extra.
 func RunSingleTelemetry(b workload.Benchmark, spec PolicySpec, n int, seed uint64, opt TelemetryOptions) RunResult {
-	return runSingle(b, spec, n, seed, func(c *cache.Cache, pol cache.Policy) {
+	return runSingle(b, spec, n, seed, runOpts{attach: telemetryAttach(opt)})
+}
+
+// telemetryAttach builds the runSingle attach hook for opt.
+func telemetryAttach(opt TelemetryOptions) func(*cache.Cache, cache.Policy) {
+	return func(c *cache.Cache, pol cache.Policy) {
 		tap := telemetry.NewTap(c, telemetry.TapConfig{
 			Registry:      opt.Registry,
 			Journal:       opt.Journal,
@@ -231,7 +309,38 @@ func RunSingleTelemetry(b workload.Benchmark, spec PolicySpec, n int, seed uint6
 		if pdp, ok := pol.(*core.PDP); ok {
 			telemetry.ObservePDP(pdp, opt.Journal, opt.EventSample)
 		}
-		c.SetMonitor(telemetry.Multi(tap, opt.Extra))
+		var extra cache.Monitor
+		if opt.Attach != nil {
+			extra = opt.Attach(c, pol)
+		}
+		c.SetMonitor(telemetry.Multi(tap, opt.Extra, extra))
+	}
+}
+
+// RunOptions configures a resumable, supervised single-core run.
+type RunOptions struct {
+	// Telemetry configures the run's observability pipeline.
+	Telemetry TelemetryOptions
+	// StartAccess resumes the measured window at this offset: the skipped
+	// prefix is replayed unmeasured to rebuild cache state (generators are
+	// deterministic), and only the remaining window is measured.
+	StartAccess uint64
+	// OnProgress, when non-nil, is called every ProgressEvery measured
+	// accesses with the absolute measured offset — the checkpoint-save
+	// hook. ProgressEvery == 0 disables it.
+	OnProgress    func(done uint64)
+	ProgressEvery uint64
+}
+
+// RunSingleResilient is RunSingleTelemetry plus checkpoint/resume
+// support: it can start mid-window and report progress for periodic
+// checkpointing.
+func RunSingleResilient(b workload.Benchmark, spec PolicySpec, n int, seed uint64, opt RunOptions) RunResult {
+	return runSingle(b, spec, n, seed, runOpts{
+		attach:        telemetryAttach(opt.Telemetry),
+		start:         opt.StartAccess,
+		onProgress:    opt.OnProgress,
+		progressEvery: opt.ProgressEvery,
 	})
 }
 

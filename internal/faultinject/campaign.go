@@ -1,0 +1,224 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+
+	"pdp/internal/cache"
+	"pdp/internal/core"
+	"pdp/internal/experiments"
+	"pdp/internal/telemetry"
+	"pdp/internal/workload"
+)
+
+// CampaignConfig configures one fault campaign: a clean run and a faulty
+// run of the same benchmark under a dynamic PDP policy, followed by the
+// graceful-degradation checks (PD bounds, hit-rate envelope, PD
+// re-convergence after the fault window closes).
+type CampaignConfig struct {
+	// Bench is the workload under test.
+	Bench workload.Benchmark
+	// Spec is the fault specification. Its Until field is overridden from
+	// FaultAccesses so both runs agree on when faults stop.
+	Spec Spec
+	// Accesses is the measured window length.
+	Accesses int
+	// Seed fixes the workload streams (the injector seeds come from Spec).
+	Seed uint64
+	// NC is the PDP RPD width in bits (default 8).
+	NC int
+	// RecomputeEvery is the PD recompute period in accesses (default
+	// Accesses/8, floor 4096).
+	RecomputeEvery uint64
+	// FaultAccesses bounds the fault window: faults stop after this many
+	// measured accesses so re-convergence is observable (default
+	// Accesses/2; the whole window when >= Accesses).
+	FaultAccesses uint64
+	// HitRateEnvelope is the maximum allowed |clean - faulty| hit-rate
+	// difference (absolute, default 0.15).
+	HitRateEnvelope float64
+	// ReconvergeWindows is how many recompute windows after the fault
+	// window the faulty PD trajectory may take to rejoin the clean one
+	// (default 3).
+	ReconvergeWindows int
+	// PDTolerance is the |clean - faulty| PD slack that still counts as
+	// converged (default 4).
+	PDTolerance int
+	// Journal receives fault, recovery and telemetry events (nil disables).
+	Journal *telemetry.Journal
+}
+
+// CampaignReport is the outcome of a fault campaign.
+type CampaignReport struct {
+	Clean, Faulty experiments.RunResult
+	// CleanPDs and FaultyPDs are the PD trajectories (one entry per
+	// recompute in the measured window).
+	CleanPDs, FaultyPDs []int
+	// FaultCounts counts injected faults by site; TotalFaults is their sum.
+	FaultCounts map[string]uint64
+	TotalFaults uint64
+	// Violations are PD-bounds invariant violations observed in either run.
+	Violations []string
+	// HitRateDelta is |clean - faulty| hit rate; Envelope the allowed max.
+	HitRateDelta, Envelope float64
+	EnvelopeOK             bool
+	// FaultEndSeq is the 1-based recompute ordinal at which the fault
+	// window had closed; ReconvergedAt the ordinal where the faulty PD
+	// trajectory rejoined the clean one (-1: never).
+	FaultEndSeq, ReconvergedAt int
+	// ReconvergeOK reports re-convergence within ReconvergeWindows (always
+	// true when the fault window spans the whole run, where the check is
+	// vacuous).
+	ReconvergeOK bool
+}
+
+// Passed reports whether every campaign invariant held.
+func (r CampaignReport) Passed() bool {
+	return len(r.Violations) == 0 && r.EnvelopeOK && r.ReconvergeOK
+}
+
+// Render writes a human-readable campaign summary.
+func (r CampaignReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "fault campaign: %s under %s\n", r.Clean.Bench, r.Clean.Policy)
+	hr := func(res experiments.RunResult) float64 {
+		if res.Stats.Accesses == 0 {
+			return 0
+		}
+		return float64(res.Stats.Hits) / float64(res.Stats.Accesses)
+	}
+	fmt.Fprintf(w, "  clean : hit rate %.4f  MPKI %.3f  PDs %v\n", hr(r.Clean), r.Clean.MPKI, r.CleanPDs)
+	fmt.Fprintf(w, "  faulty: hit rate %.4f  MPKI %.3f  PDs %v\n", hr(r.Faulty), r.Faulty.MPKI, r.FaultyPDs)
+	fmt.Fprintf(w, "  faults injected: %d %v\n", r.TotalFaults, r.FaultCounts)
+	fmt.Fprintf(w, "  hit-rate delta %.4f (envelope %.4f): ok=%v\n", r.HitRateDelta, r.Envelope, r.EnvelopeOK)
+	if r.FaultEndSeq > 0 {
+		fmt.Fprintf(w, "  PD re-convergence: fault window closed at recompute %d, reconverged at %d: ok=%v\n",
+			r.FaultEndSeq, r.ReconvergedAt, r.ReconvergeOK)
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(w, "  VIOLATION: %s\n", v)
+	}
+	fmt.Fprintf(w, "  verdict: passed=%v\n", r.Passed())
+}
+
+// RunCampaign executes the campaign. Both runs share the workload seed, so
+// any divergence is attributable to the injected faults alone.
+func RunCampaign(cfg CampaignConfig) (CampaignReport, error) {
+	if cfg.Bench.Build == nil {
+		return CampaignReport{}, fmt.Errorf("faultinject: campaign needs a benchmark")
+	}
+	if cfg.Accesses <= 0 {
+		return CampaignReport{}, fmt.Errorf("faultinject: campaign needs a positive access window")
+	}
+	if !cfg.Spec.Enabled() {
+		return CampaignReport{}, fmt.Errorf("faultinject: campaign spec injects nothing")
+	}
+	if cfg.NC == 0 {
+		cfg.NC = 8
+	}
+	if cfg.RecomputeEvery == 0 {
+		cfg.RecomputeEvery = uint64(cfg.Accesses / 8)
+		if cfg.RecomputeEvery < 4096 {
+			cfg.RecomputeEvery = 4096
+		}
+	}
+	if cfg.FaultAccesses == 0 {
+		cfg.FaultAccesses = uint64(cfg.Accesses) / 2
+	}
+	wholeRun := cfg.FaultAccesses >= uint64(cfg.Accesses)
+	if cfg.HitRateEnvelope == 0 {
+		cfg.HitRateEnvelope = 0.15
+	}
+	if cfg.ReconvergeWindows == 0 {
+		cfg.ReconvergeWindows = 3
+	}
+	if cfg.PDTolerance == 0 {
+		cfg.PDTolerance = 4
+	}
+
+	spec := experiments.PolicySpec{
+		Name: fmt.Sprintf("PDP-%d", cfg.NC), Bypass: true,
+		New: func(s, w int, _ uint64) cache.Policy {
+			return core.New(core.Config{Sets: s, Ways: w, NC: cfg.NC, Bypass: true, RecomputeEvery: cfg.RecomputeEvery})
+		},
+	}
+
+	// Clean reference run.
+	var cleanChk *Checker
+	clean := experiments.RunSingleTelemetry(cfg.Bench, spec, cfg.Accesses, cfg.Seed, experiments.TelemetryOptions{
+		Attach: func(_ *cache.Cache, pol cache.Policy) cache.Monitor {
+			cleanChk = NewChecker(pdpOf(pol))
+			return nil
+		},
+	})
+
+	// Faulty run. The trace wrapper's clock counts every record it emits,
+	// warm-up included, while the PDP injector attaches after warm-up — so
+	// the two fault windows close at the same architectural point only
+	// when the trace Until is offset by the warm-up length.
+	warm := uint64(experiments.Warmup(cfg.Accesses))
+	traceSpec, polSpec := cfg.Spec, cfg.Spec
+	if wholeRun {
+		traceSpec.Until, polSpec.Until = 0, 0
+	} else {
+		traceSpec.Until = warm + cfg.FaultAccesses
+		polSpec.Until = cfg.FaultAccesses
+	}
+	rep := NewReporter(cfg.Journal)
+	var faultyChk *Checker
+	faulty := experiments.RunSingleTelemetry(WrapBenchmark(cfg.Bench, traceSpec, rep), spec, cfg.Accesses, cfg.Seed,
+		experiments.TelemetryOptions{
+			Journal: cfg.Journal,
+			Attach: func(_ *cache.Cache, pol cache.Policy) cache.Monitor {
+				p := pdpOf(pol)
+				faultyChk = NewChecker(p)
+				return NewPDPInjector(p, polSpec, rep)
+			},
+		})
+
+	r := CampaignReport{
+		Clean: clean, Faulty: faulty,
+		CleanPDs: cleanChk.PDs(), FaultyPDs: faultyChk.PDs(),
+		FaultCounts: rep.Counts(), TotalFaults: rep.Total(),
+		Violations: append(cleanChk.Violations(), faultyChk.Violations()...),
+		Envelope:   cfg.HitRateEnvelope,
+	}
+	hr := func(res experiments.RunResult) float64 {
+		if res.Stats.Accesses == 0 {
+			return 0
+		}
+		return float64(res.Stats.Hits) / float64(res.Stats.Accesses)
+	}
+	r.HitRateDelta = hr(clean) - hr(faulty)
+	if r.HitRateDelta < 0 {
+		r.HitRateDelta = -r.HitRateDelta
+	}
+	r.EnvelopeOK = r.HitRateDelta <= cfg.HitRateEnvelope
+
+	if wholeRun {
+		// Faults never stop: the re-convergence check is vacuous.
+		r.FaultEndSeq, r.ReconvergedAt, r.ReconvergeOK = 0, -1, true
+	} else {
+		// Recompute seq s fires at policy access s*RecomputeEvery; the
+		// checker only sees the measured window, whose first recompute is
+		// policy-global ordinal floor(warm/RE)+1. Faults stop at policy
+		// access warm+FaultAccesses.
+		globalEnd := int((warm+cfg.FaultAccesses)/cfg.RecomputeEvery) + 1
+		r.FaultEndSeq = globalEnd - int(warm/cfg.RecomputeEvery)
+		r.ReconvergedAt = Reconvergence(r.CleanPDs, r.FaultyPDs, r.FaultEndSeq, cfg.PDTolerance)
+		r.ReconvergeOK = r.ReconvergedAt >= 0 && r.ReconvergedAt <= r.FaultEndSeq+cfg.ReconvergeWindows
+		if r.ReconvergeOK && cfg.Journal != nil {
+			cfg.Journal.Append(telemetry.RecoveryRecord{
+				Kind: telemetry.KindRecovery, Name: cfg.Bench.Name, Cause: "pd_reconverge",
+				Detail: fmt.Sprintf("PD rejoined clean trajectory at recompute %d (fault window closed at %d)",
+					r.ReconvergedAt, r.FaultEndSeq),
+			})
+		}
+	}
+	return r, nil
+}
+
+// pdpOf unwraps a dynamic PDP from a policy (nil otherwise).
+func pdpOf(pol cache.Policy) *core.PDP {
+	p, _ := pol.(*core.PDP)
+	return p
+}

@@ -1,0 +1,63 @@
+package faultinject
+
+import "testing"
+
+func TestParseRoundTrip(t *testing.T) {
+	in := "trace.corrupt=0.001,trace.dup=0.01,counter.flip=0.0001,pd.bias=16,until=50000,seed=7"
+	s, err := Parse(in)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.TraceCorrupt != 0.001 || s.TraceDup != 0.01 || s.CounterFlip != 0.0001 ||
+		s.PDBias != 16 || s.Until != 50000 || s.Seed != 7 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if !s.Enabled() || !s.TraceEnabled() || !s.PolicyEnabled() {
+		t.Fatalf("enabled flags wrong: %+v", s)
+	}
+	s2, err := Parse(s.String())
+	if err != nil {
+		t.Fatalf("re-Parse(%q): %v", s.String(), err)
+	}
+	if s2 != s {
+		t.Fatalf("round trip: %+v != %+v", s2, s)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	s, err := Parse("  ")
+	if err != nil {
+		t.Fatalf("Parse empty: %v", err)
+	}
+	if s.Enabled() {
+		t.Fatalf("empty spec enabled: %+v", s)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"trace.corrupt=2",    // probability out of range
+		"trace.corrupt=-0.1", // negative probability
+		"bogus=1",            // unknown key
+		"trace.corrupt",      // not key=value
+		"pd.bias=-3",         // negative bias
+		"seed=abc",           // not a uint
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", in)
+		}
+	}
+}
+
+func TestUntilGating(t *testing.T) {
+	s := Spec{TraceCorrupt: 1, Until: 10}
+	if !s.active(10) {
+		t.Fatal("tick 10 should be active")
+	}
+	if s.active(11) {
+		t.Fatal("tick 11 should be inactive")
+	}
+	if !(Spec{TraceCorrupt: 1}).active(1 << 40) {
+		t.Fatal("Until=0 should never deactivate")
+	}
+}

@@ -1,0 +1,50 @@
+package faultinject
+
+import (
+	"pdp/internal/trace"
+)
+
+// HeaderLen is the byte length of a tracefile header (magic + version)
+// that FlipBits skips by default, so corruption lands in record data
+// rather than failing the header check outright.
+const HeaderLen = 5
+
+// FlipBits returns a copy of data with n deterministic single-bit flips at
+// seeded positions from offset skip onward — the tracefile-layer fault
+// model (bit rot in an archived trace). Fewer than n flips are applied
+// when the region is shorter than n bytes. Each flip is reported to rep.
+func FlipBits(data []byte, n int, seed uint64, skip int, rep *Reporter) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	if skip < 0 {
+		skip = 0
+	}
+	if skip >= len(out) || n <= 0 {
+		return out
+	}
+	rng := trace.NewRNG(seed ^ 0xB17F11B5)
+	region := len(out) - skip
+	if n > region {
+		n = region
+	}
+	for i := 0; i < n; i++ {
+		pos := skip + rng.Intn(region)
+		bit := uint(rng.Intn(8))
+		out[pos] ^= 1 << bit
+		rep.Record("tracefile.flip", uint64(pos), "")
+	}
+	return out
+}
+
+// Truncate returns the first frac of data (rounded down) — the truncated-
+// transfer fault model. frac outside (0, 1) returns a copy unchanged.
+func Truncate(data []byte, frac float64, rep *Reporter) []byte {
+	n := len(data)
+	if frac > 0 && frac < 1 {
+		n = int(float64(len(data)) * frac)
+		rep.Record("tracefile.truncate", uint64(n), "")
+	}
+	out := make([]byte, n)
+	copy(out, data[:n])
+	return out
+}

@@ -1,0 +1,117 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"regexp"
+	"strings"
+	"testing"
+
+	"pdp/internal/tracefile"
+)
+
+// encodeTrace serializes n sequential accesses in the tracefile format.
+func encodeTrace(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := tracefile.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &seqGen{}
+	for i := 0; i < n; i++ {
+		if err := w.Write(g.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// readBack decodes until error, returning the count and the final error.
+func readBack(data []byte) (int, error) {
+	r, err := tracefile.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		if _, err := r.Read(); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// TestTruncatedTraceErrorsWithPosition feeds a truncated encoding to the
+// tracefile Reader and checks the failure names the record index and byte
+// offset (the satellite diagnostics of this PR), not a bare EOF.
+func TestTruncatedTraceErrorsWithPosition(t *testing.T) {
+	data := encodeTrace(t, 1000)
+	rep := NewReporter(nil)
+	cut := Truncate(data, 0.5, rep)
+	if rep.Count("tracefile.truncate") != 1 {
+		t.Fatal("truncation not reported")
+	}
+	n, err := readBack(cut)
+	if err == nil || errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated trace read cleanly (%d records, err %v)", n, err)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want ErrUnexpectedEOF in chain, got %v", err)
+	}
+	msg := err.Error()
+	if !regexp.MustCompile(`record \d+ \(starting at byte \d+`).MatchString(msg) {
+		t.Fatalf("error lacks record/byte position: %q", msg)
+	}
+	if n == 0 {
+		t.Fatal("no records decoded before the truncation point")
+	}
+}
+
+// TestBitFlippedTraceNeverPanics decodes many independently bit-flipped
+// encodings: every outcome must be a clean stop or a positioned error,
+// never a panic or an infinite stream.
+func TestBitFlippedTraceNeverPanics(t *testing.T) {
+	data := encodeTrace(t, 500)
+	for seed := uint64(1); seed <= 50; seed++ {
+		rep := NewReporter(nil)
+		bad := FlipBits(data, 8, seed, HeaderLen, rep)
+		if rep.Count("tracefile.flip") == 0 {
+			t.Fatalf("seed %d: no flips applied", seed)
+		}
+		n, err := readBack(bad)
+		if err == nil {
+			t.Fatalf("seed %d: reader never terminated", seed)
+		}
+		if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) &&
+			!strings.Contains(err.Error(), "record") {
+			t.Fatalf("seed %d: unpositioned error after %d records: %v", seed, n, err)
+		}
+	}
+}
+
+// TestFlipBitsSkipsHeader ensures corruption spares the magic/version
+// header so decoding fails in record data, not at open.
+func TestFlipBitsSkipsHeader(t *testing.T) {
+	data := encodeTrace(t, 100)
+	for seed := uint64(1); seed <= 20; seed++ {
+		bad := FlipBits(data, 4, seed, HeaderLen, nil)
+		if !bytes.Equal(bad[:HeaderLen], data[:HeaderLen]) {
+			t.Fatalf("seed %d: header corrupted", seed)
+		}
+	}
+}
+
+// TestFlipBitsDeterministic: same seed, same flips.
+func TestFlipBitsDeterministic(t *testing.T) {
+	data := encodeTrace(t, 200)
+	a := FlipBits(data, 8, 9, HeaderLen, nil)
+	b := FlipBits(data, 8, 9, HeaderLen, nil)
+	if !bytes.Equal(a, b) {
+		t.Fatal("FlipBits is not deterministic in its seed")
+	}
+}

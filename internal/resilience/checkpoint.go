@@ -1,0 +1,182 @@
+package resilience
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"pdp/internal/telemetry"
+)
+
+// CheckpointVersion is the current checkpoint format version.
+const CheckpointVersion = 1
+
+// RunMark records the completion of one run id.
+type RunMark struct {
+	// Seconds is the run's wall-clock duration.
+	Seconds float64 `json:"seconds,omitempty"`
+	// UnixSec is the completion time.
+	UnixSec int64 `json:"unix_sec,omitempty"`
+}
+
+// Checkpoint is the resumable state of a campaign: the set of completed
+// run ids (`repro -resume` skips them) and saved trace access offsets
+// (`pdpsim -resume` fast-forwards its deterministic generator past them).
+// Only trace positions are saved, never policy or cache state, so a resume
+// is policy-agnostic: any policy can pick up the remaining window. All
+// methods are safe for concurrent use.
+type Checkpoint struct {
+	mu sync.Mutex
+	d  checkpointData
+}
+
+// checkpointData is the JSON shape of a checkpoint file.
+type checkpointData struct {
+	Version int `json:"version"`
+	// Completed maps run ids (experiment ids) to their completion marks.
+	Completed map[string]RunMark `json:"completed,omitempty"`
+	// Offsets maps resume keys (bench/window/seed) to the number of
+	// measured accesses already simulated.
+	Offsets map[string]uint64 `json:"offsets,omitempty"`
+}
+
+// NewCheckpoint returns an empty checkpoint.
+func NewCheckpoint() *Checkpoint {
+	return &Checkpoint{d: checkpointData{
+		Version:   CheckpointVersion,
+		Completed: map[string]RunMark{},
+		Offsets:   map[string]uint64{},
+	}}
+}
+
+// DecodeCheckpoint parses and validates checkpoint JSON.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	var d checkpointData
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if d.Version != CheckpointVersion {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d", d.Version)
+	}
+	if d.Completed == nil {
+		d.Completed = map[string]RunMark{}
+	}
+	if d.Offsets == nil {
+		d.Offsets = map[string]uint64{}
+	}
+	return &Checkpoint{d: d}, nil
+}
+
+// LoadCheckpoint reads a checkpoint file; a missing file yields a fresh
+// empty checkpoint (resuming a campaign that never started is a no-op).
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return NewCheckpoint(), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	c, err := DecodeCheckpoint(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Done reports whether run id completed.
+func (c *Checkpoint) Done(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.d.Completed[id]
+	return ok
+}
+
+// MarkDone records run id as completed.
+func (c *Checkpoint) MarkDone(id string, dur time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.d.Completed[id] = RunMark{Seconds: dur.Seconds(), UnixSec: time.Now().Unix()}
+}
+
+// CompletedCount returns the number of completed run ids.
+func (c *Checkpoint) CompletedCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.d.Completed)
+}
+
+// Offset returns the saved access offset for key (0 when none).
+func (c *Checkpoint) Offset(key string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.d.Offsets[key]
+}
+
+// SetOffset records the access offset for key.
+func (c *Checkpoint) SetOffset(key string, off uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.d.Offsets[key] = off
+}
+
+// ClearOffset removes key's offset (the window completed).
+func (c *Checkpoint) ClearOffset(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.d.Offsets, key)
+}
+
+// Save writes the checkpoint atomically (temp file + rename in the target
+// directory), so a crash mid-save never corrupts an existing checkpoint.
+// When journal is non-nil the save is recorded as a checkpoint event.
+func (c *Checkpoint) Save(path string, journal *telemetry.Journal) error {
+	c.mu.Lock()
+	data, err := json.MarshalIndent(c.d, "", "  ")
+	completed := len(c.d.Completed)
+	var off uint64
+	for _, v := range c.d.Offsets {
+		if v > off {
+			off = v
+		}
+	}
+	c.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	data = append(data, '\n')
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*.tmp")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	journal.Append(telemetry.CheckpointRecord{
+		Kind: telemetry.KindCheckpoint, Path: path, Completed: completed, Offset: off,
+	})
+	return nil
+}
+
+// RunKey builds the policy-agnostic resume key of a simulation window:
+// the benchmark, window length and seed fully determine the deterministic
+// access stream, so any policy can resume from the saved offset.
+func RunKey(bench string, n int, seed uint64) string {
+	return fmt.Sprintf("%s/n=%d/seed=%d", bench, n, seed)
+}

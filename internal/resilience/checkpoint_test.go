@@ -1,0 +1,148 @@
+package resilience
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pdp/internal/telemetry"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	c := NewCheckpoint()
+	c.MarkDone("fig10", 2*time.Second)
+	c.MarkDone("tab2", 500*time.Millisecond)
+	c.SetOffset(RunKey("436.cactusADM", 1_000_000, 42), 300_000)
+
+	j := telemetry.NewJournal(8)
+	if err := c.Save(path, j); err != nil {
+		t.Fatal(err)
+	}
+	if j.CountKind(telemetry.KindCheckpoint) != 1 {
+		t.Fatal("checkpoint save not journaled")
+	}
+
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Done("fig10") || !got.Done("tab2") || got.Done("fig11") {
+		t.Fatal("completed set did not round-trip")
+	}
+	if got.CompletedCount() != 2 {
+		t.Fatalf("CompletedCount = %d, want 2", got.CompletedCount())
+	}
+	if off := got.Offset(RunKey("436.cactusADM", 1_000_000, 42)); off != 300_000 {
+		t.Fatalf("Offset = %d, want 300000", off)
+	}
+	if off := got.Offset("other"); off != 0 {
+		t.Fatalf("unknown key Offset = %d, want 0", off)
+	}
+
+	got.ClearOffset(RunKey("436.cactusADM", 1_000_000, 42))
+	if got.Offset(RunKey("436.cactusADM", 1_000_000, 42)) != 0 {
+		t.Fatal("ClearOffset did not clear")
+	}
+}
+
+func TestCheckpointResumeSkipsCompletedIDs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	c := NewCheckpoint()
+	ids := []string{"fig1", "fig2", "fig4"}
+	c.MarkDone("fig1", time.Second)
+	c.MarkDone("fig4", time.Second)
+	if err := c.Save(path, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran []string
+	for _, id := range ids {
+		if resumed.Done(id) {
+			continue
+		}
+		ran = append(ran, id)
+	}
+	if len(ran) != 1 || ran[0] != "fig2" {
+		t.Fatalf("resume ran %v, want only fig2", ran)
+	}
+}
+
+func TestLoadCheckpointMissingFileIsFresh(t *testing.T) {
+	c, err := LoadCheckpoint(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CompletedCount() != 0 {
+		t.Fatal("missing file should load as empty checkpoint")
+	}
+}
+
+func TestDecodeCheckpointRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"not json",
+		`{"version": 99}`,
+		`[]`,
+	} {
+		if _, err := DecodeCheckpoint([]byte(bad)); err == nil {
+			t.Fatalf("DecodeCheckpoint(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestCheckpointSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	c := NewCheckpoint()
+	c.MarkDone("fig1", time.Second)
+	if err := c.Save(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.MarkDone("fig2", time.Second)
+	if err := c.Save(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp files left behind: %v", ents)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Done("fig1") || !got.Done("fig2") {
+		t.Fatal("second save lost state")
+	}
+}
+
+// FuzzDecodeCheckpoint ensures arbitrary bytes never crash the decoder:
+// every input either parses to a valid checkpoint or returns an error.
+func FuzzDecodeCheckpoint(f *testing.F) {
+	f.Add([]byte(`{"version":1,"completed":{"fig1":{"seconds":1}},"offsets":{"k":5}}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		// A decoded checkpoint must be fully usable.
+		c.Done("x")
+		c.MarkDone("x", time.Second)
+		c.Offset("y")
+		c.SetOffset("y", 1)
+		if !c.Done("x") {
+			t.Fatal("MarkDone lost on decoded checkpoint")
+		}
+	})
+}

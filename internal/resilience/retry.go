@@ -1,0 +1,117 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"pdp/internal/telemetry"
+)
+
+// transientError marks an error as worth retrying.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// MarkTransient wraps err so IsTransient reports it retryable (output and
+// trace I/O paths mark their failures this way). A nil err stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err was marked with MarkTransient or
+// declares itself temporary (net.Error-style `Temporary() bool`).
+func IsTransient(err error) bool {
+	var te *transientError
+	if errors.As(err, &te) {
+		return true
+	}
+	var tmp interface{ Temporary() bool }
+	return errors.As(err, &tmp) && tmp.Temporary()
+}
+
+// RetryConfig parameterizes Retry.
+type RetryConfig struct {
+	// Name labels the operation in journal records.
+	Name string
+	// Attempts is the maximum number of tries (default 3).
+	Attempts int
+	// Base is the first backoff delay (default 100ms); each subsequent
+	// delay doubles, capped at Max (default 5s).
+	Base, Max time.Duration
+	// Transient reports whether an error is worth retrying; nil selects
+	// IsTransient.
+	Transient func(error) bool
+	// Journal receives a recovery record when a retry eventually succeeds.
+	Journal *telemetry.Journal
+	// Sleep overrides the backoff sleep (tests); nil sleeps honoring ctx.
+	Sleep func(context.Context, time.Duration) error
+}
+
+// Retry runs fn up to cfg.Attempts times with exponential backoff,
+// stopping early on success, on a non-transient error, or when ctx is
+// cancelled. A success after failures is journaled as a recovery.
+func Retry(ctx context.Context, cfg RetryConfig, fn func() error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	attempts := cfg.Attempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	base := cfg.Base
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := cfg.Max
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	transient := cfg.Transient
+	if transient == nil {
+		transient = IsTransient
+	}
+	sleep := cfg.Sleep
+	if sleep == nil {
+		sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+
+	var err error
+	delay := base
+	for attempt := 1; attempt <= attempts; attempt++ {
+		err = fn()
+		if err == nil {
+			if attempt > 1 && cfg.Journal != nil {
+				cfg.Journal.Append(telemetry.RecoveryRecord{
+					Kind: telemetry.KindRecovery, Name: cfg.Name, Cause: "retry",
+					Detail: fmt.Sprintf("succeeded on attempt %d", attempt),
+				})
+			}
+			return nil
+		}
+		if attempt == attempts || !transient(err) || ctx.Err() != nil {
+			break
+		}
+		if serr := sleep(ctx, delay); serr != nil {
+			return fmt.Errorf("%s: %w (after %v)", cfg.Name, serr, err)
+		}
+		if delay *= 2; delay > max {
+			delay = max
+		}
+	}
+	return err
+}

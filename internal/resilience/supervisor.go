@@ -1,0 +1,177 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"pdp/internal/telemetry"
+)
+
+// Heartbeat carries progress reports from a supervised task to its
+// watchdog. Tasks call Beat with a monotonically growing progress value
+// (measured accesses for simulator runs); the supervisor includes the last
+// beat in watchdog reports. All methods are safe for concurrent use and on
+// a nil receiver.
+type Heartbeat struct {
+	v atomic.Int64
+}
+
+func newHeartbeat() *Heartbeat {
+	h := &Heartbeat{}
+	h.v.Store(-1)
+	return h
+}
+
+// Beat records progress.
+func (h *Heartbeat) Beat(progress int64) {
+	if h != nil {
+		h.v.Store(progress)
+	}
+}
+
+// Last returns the most recent progress value, -1 when none was reported.
+func (h *Heartbeat) Last() int64 {
+	if h == nil {
+		return -1
+	}
+	return h.v.Load()
+}
+
+// Supervisor runs tasks under panic recovery and an optional watchdog
+// timeout, journaling lifecycle, watchdog and recovery events.
+type Supervisor struct {
+	// Timeout bounds each run's wall-clock time; 0 disables the watchdog.
+	Timeout time.Duration
+	// Grace is how long, after cancellation, the supervisor waits for the
+	// task to notice and unwind before abandoning its goroutine (guarded
+	// generators notice within a few thousand accesses). Default 250ms.
+	Grace time.Duration
+	// Journal receives run_status / watchdog / recovery records (nil
+	// disables journaling).
+	Journal *telemetry.Journal
+}
+
+// Outcome summarizes one supervised run.
+type Outcome struct {
+	// Name identifies the run.
+	Name string
+	// Err is nil for a clean completion. Watchdog expiries surface as
+	// *WatchdogError, recovered panics as *PanicError, and a harness
+	// shutdown as the parent context's error.
+	Err error
+	// Duration is the run's wall-clock time.
+	Duration time.Duration
+	// TimedOut marks watchdog expiry; Panicked marks a recovered panic;
+	// Abandoned marks a run whose goroutine did not unwind within the grace
+	// period (its work is discarded, but it may still burn CPU until
+	// process exit).
+	TimedOut, Panicked, Abandoned bool
+}
+
+// Failed reports whether the run must count as a failure.
+func (o Outcome) Failed() bool { return o.Err != nil }
+
+// cancelAbort is the sentinel panic a guarded generator raises when its
+// context is cancelled mid-run; Supervisor.Run converts it back to the
+// context's error.
+type cancelAbort struct{ err error }
+
+// Run executes fn under supervision: a per-run context carrying the
+// watchdog timeout, panic recovery, and heartbeat plumbing. fn must either
+// honor ctx cancellation or drive its access loop through a generator
+// wrapped by GuardGenerator, which aborts cooperatively.
+func (s *Supervisor) Run(ctx context.Context, name string, fn func(ctx context.Context, hb *Heartbeat) error) Outcome {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runCtx, cancel := ctx, context.CancelFunc(func() {})
+	if s.Timeout > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, s.Timeout)
+	}
+	defer cancel()
+
+	hb := newHeartbeat()
+	start := time.Now()
+	s.journal(telemetry.RunStatusRecord{Kind: telemetry.KindRunStatus, Name: name, Status: "start"})
+
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if c, ok := r.(cancelAbort); ok {
+					done <- c.err
+					return
+				}
+				done <- &PanicError{Value: r, Stack: debug.Stack()}
+			}
+		}()
+		done <- fn(runCtx, hb)
+	}()
+
+	var err error
+	abandoned := false
+	select {
+	case err = <-done:
+	case <-runCtx.Done():
+		grace := s.Grace
+		if grace <= 0 {
+			grace = 250 * time.Millisecond
+		}
+		select {
+		case err = <-done:
+		case <-time.After(grace):
+			err = runCtx.Err()
+			abandoned = true
+		}
+	}
+
+	out := Outcome{Name: name, Err: err, Duration: time.Since(start), Abandoned: abandoned}
+
+	// A run cut down by the watchdog reports deadline expiry whichever way
+	// it unwound; a run cut down by the parent (shutdown) keeps the parent's
+	// cancellation error.
+	if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+		out.TimedOut = true
+		out.Err = &WatchdogError{Name: name, Timeout: s.Timeout, LastBeat: hb.Last()}
+		s.journal(telemetry.WatchdogRecord{
+			Kind: telemetry.KindWatchdog, Name: name,
+			TimeoutSec: s.Timeout.Seconds(), LastBeat: hb.Last(),
+		})
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		out.Panicked = true
+		s.journal(telemetry.RecoveryRecord{
+			Kind: telemetry.KindRecovery, Name: name, Cause: "panic",
+			Detail: pe.Error(),
+		})
+	}
+
+	status := "done"
+	if out.Err != nil {
+		status = "failed"
+	}
+	rec := telemetry.RunStatusRecord{
+		Kind: telemetry.KindRunStatus, Name: name, Status: status,
+		Seconds: out.Duration.Seconds(),
+	}
+	if out.Err != nil {
+		rec.Err = out.Err.Error()
+	}
+	s.journal(rec)
+	return out
+}
+
+// Skip journals a run skipped via checkpoint resume.
+func (s *Supervisor) Skip(name string) {
+	s.journal(telemetry.RunStatusRecord{Kind: telemetry.KindRunStatus, Name: name, Status: "skipped"})
+}
+
+func (s *Supervisor) journal(r telemetry.Record) {
+	if s != nil && s.Journal != nil {
+		s.Journal.Append(r)
+	}
+}

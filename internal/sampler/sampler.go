@@ -95,6 +95,21 @@ func (c *CounterArray) RecordHit(rd int) {
 	}
 }
 
+// Corrupt XORs mask into counter k — a fault-injection seam modelling an
+// SRAM soft error in the RDD store (internal/faultinject drives it). The
+// saturation freeze is re-evaluated so a flip into the saturated range
+// degrades exactly as the hardware would: the array freezes, preserving
+// the (now corrupted) RDD shape until the next recompute resets it.
+func (c *CounterArray) Corrupt(k int, mask uint32) {
+	if k < 0 || k >= len(c.n) {
+		return
+	}
+	c.n[k] ^= mask
+	if c.n[k] >= c.NiMax {
+		c.frozen = true
+	}
+}
+
 // Reset clears all counters and unfreezes the array.
 func (c *CounterArray) Reset() {
 	for i := range c.n {

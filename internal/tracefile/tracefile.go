@@ -115,46 +115,76 @@ func (tw *Writer) Count() uint64 { return tw.n }
 // Flush completes the stream.
 func (tw *Writer) Flush() error { return tw.w.Flush() }
 
+// countingReader counts bytes consumed from the underlying stream so
+// decode errors can report where the corruption sits.
+type countingReader struct {
+	r   *bufio.Reader
+	off int64
+}
+
+func (cr *countingReader) ReadByte() (byte, error) {
+	b, err := cr.r.ReadByte()
+	if err == nil {
+		cr.off++
+	}
+	return b, err
+}
+
 // Reader decodes a trace stream.
 type Reader struct {
-	r        *bufio.Reader
+	r        countingReader
+	rec      uint64
 	prevAddr uint64
 	prevPC   uint64
 }
 
 // NewReader validates the header and prepares decoding.
 func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReader(r)
+	tr := &Reader{r: countingReader{r: bufio.NewReader(r)}}
 	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("tracefile: reading magic: %w", err)
+	for i := range m {
+		b, err := tr.r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: reading magic: %w", unexpectAt(err, tr.r.off > 0))
+		}
+		m[i] = b
 	}
 	if m != magic {
 		return nil, errors.New("tracefile: bad magic (not a PDPT trace)")
 	}
-	v, err := binary.ReadUvarint(br)
+	v, err := binary.ReadUvarint(&tr.r)
 	if err != nil {
-		return nil, fmt.Errorf("tracefile: reading version: %w", err)
+		return nil, fmt.Errorf("tracefile: reading version: %w", unexpect(err))
 	}
 	if v != Version {
 		return nil, fmt.Errorf("tracefile: unsupported version %d", v)
 	}
-	return &Reader{r: br}, nil
+	return tr, nil
 }
 
-// Read returns the next access, or io.EOF at the end of the stream.
+// Records returns the number of complete records decoded so far.
+func (tr *Reader) Records() uint64 { return tr.rec }
+
+// Offset returns the byte offset of the next unread byte.
+func (tr *Reader) Offset() int64 { return tr.r.off }
+
+// Read returns the next access, or io.EOF at the end of the stream. A
+// mid-record failure (truncation or varint overflow) is wrapped with the
+// failing record's index and starting byte offset, so corrupt-trace
+// reports from fault campaigns pinpoint the damage.
 func (tr *Reader) Read() (trace.Access, error) {
+	start := tr.r.off
 	flags, err := tr.r.ReadByte()
 	if err != nil {
 		return trace.Access{}, err // io.EOF at a record boundary is clean
 	}
-	thread, err := binary.ReadUvarint(tr.r)
+	thread, err := binary.ReadUvarint(&tr.r)
 	if err != nil {
-		return trace.Access{}, unexpect(err)
+		return trace.Access{}, tr.corrupt("thread", start, err)
 	}
-	delta, err := binary.ReadUvarint(tr.r)
+	delta, err := binary.ReadUvarint(&tr.r)
 	if err != nil {
-		return trace.Access{}, unexpect(err)
+		return trace.Access{}, tr.corrupt("addr delta", start, err)
 	}
 	addr := tr.prevAddr
 	if flags&fAddrNeg != 0 {
@@ -164,13 +194,14 @@ func (tr *Reader) Read() (trace.Access, error) {
 	}
 	pc := tr.prevPC
 	if flags&fPCRepeat == 0 {
-		pc, err = binary.ReadUvarint(tr.r)
+		pc, err = binary.ReadUvarint(&tr.r)
 		if err != nil {
-			return trace.Access{}, unexpect(err)
+			return trace.Access{}, tr.corrupt("pc", start, err)
 		}
 	}
 	tr.prevAddr = addr
 	tr.prevPC = pc
+	tr.rec++
 	return trace.Access{
 		Addr:     addr,
 		PC:       pc,
@@ -181,9 +212,25 @@ func (tr *Reader) Read() (trace.Access, error) {
 	}, nil
 }
 
+// corrupt annotates a mid-record decode failure with positional context.
+func (tr *Reader) corrupt(field string, start int64, err error) error {
+	return fmt.Errorf("tracefile: record %d (starting at byte %d, decoding %s): %w",
+		tr.rec, start, field, unexpect(err))
+}
+
 func unexpect(err error) error {
 	if errors.Is(err, io.EOF) {
 		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// unexpectAt maps EOF to ErrUnexpectedEOF only when some bytes were
+// already consumed (mid-header truncation); a zero-byte stream keeps the
+// clean io.EOF.
+func unexpectAt(err error, mid bool) error {
+	if mid {
+		return unexpect(err)
 	}
 	return err
 }
