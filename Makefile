@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench repro fuzz faultcamp clean
+.PHONY: check build vet test race bench bench-parallel repro repro-parallel fuzz faultcamp clean
 
 # check is the CI gate: build, vet, race-enabled tests.
 check: build vet race
@@ -21,8 +21,18 @@ race:
 bench:
 	$(GO) test -bench 'AccessPDP8' -benchtime 2s -count 5 -run @ .
 
+# Parallel engine benchmark: the repro suite's wall-clock at -jobs 1/2/8,
+# recorded into BENCH_parallel.json (the -jobs 1 output is the baseline the
+# others are diffed against, so this doubles as a determinism check).
+bench-parallel:
+	./scripts/bench_parallel.sh
+
 repro:
 	$(GO) run ./cmd/repro all
+
+# The suite on all cores; byte-identical to `make repro`, just faster.
+repro-parallel:
+	$(GO) run ./cmd/repro -jobs 0 all
 
 # Fuzz smoke: the two untrusted decoders (trace files, checkpoints).
 fuzz:
@@ -31,5 +41,5 @@ fuzz:
 
 # Short fault campaign: clean vs injected run + graceful-degradation checks.
 faultcamp:
-	$(GO) run ./cmd/repro -scale 0.2 \
+	$(GO) run ./cmd/repro -scale 0.2 -jobs 2 \
 		-inject 'trace.corrupt=1e-3,counter.flip=1e-3,pd.bias=16,seed=7' faultcamp

@@ -15,7 +15,9 @@
 // PD-partitioning policies) the per-thread protecting distances.
 //
 // -timeout sets a watchdog on the run; -inject applies seeded faults to
-// the mix's trace streams (see README "Robustness").
+// the mix's trace streams (see README "Robustness"). -jobs fans the
+// per-core stand-alone baseline runs across workers (the report is the
+// same at any value).
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"pdp/internal/experiments"
 	"pdp/internal/faultinject"
 	"pdp/internal/metrics"
+	"pdp/internal/parallel"
 	"pdp/internal/resilience"
 	"pdp/internal/telemetry"
 	"pdp/internal/workload"
@@ -40,6 +43,7 @@ func main() {
 	benchList := flag.String("benchmarks", "", "comma-separated benchmark names (one per core)")
 	mixID := flag.Int("mix", -1, "use the i-th seeded random mix instead of -benchmarks")
 	perThread := flag.Int("n", 400_000, "measured accesses per thread")
+	jobs := flag.Int("jobs", 1, "concurrent stand-alone baseline runs (0 = all cores)")
 	seed := flag.Uint64("seed", 42, "random seed")
 	statsFmt := flag.String("stats", "text", "stats output format: text or json")
 	telemetryOut := flag.String("telemetry", "", "write a JSONL telemetry journal to this file")
@@ -146,10 +150,13 @@ func main() {
 			SnapshotEvery: *snapshotEvery,
 			EventSample:   *journalSample,
 		})
-		for t, b := range m.Benchs {
-			single[t] = experiments.SingleIPC(b, *cores, *perThread, *seed)
-		}
-		return nil
+		// The per-core stand-alone LRU baselines are independent runs;
+		// fan them across -jobs workers (results land by core index, so
+		// the report is identical at any jobs count).
+		return parallel.ForEach(*jobs, len(m.Benchs), func(t int) error {
+			single[t] = experiments.SingleIPC(m.Benchs[t], *cores, *perThread, *seed)
+			return nil
+		})
 	})
 	if out.Err != nil {
 		journal.Flush()

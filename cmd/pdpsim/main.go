@@ -7,10 +7,16 @@
 //	pdpsim -bench 436.cactusADM -policy pdp-8 -stats json \
 //	       -telemetry run.jsonl -snapshot-every 100000
 //	pdpsim -trace cactus.pdpt -policy drrip
+//	pdpsim -bench 403.gcc -policy dip,drrip,pdp-8 -jobs 4
 //	pdpsim -list
 //
 // Policies: lru, dip, drrip, drrip:1/64, eelru, sdp, pdp-2, pdp-3, pdp-8,
 // spdp-b:<pd>, spdp-nb:<pd>.
+//
+// A comma-separated -policy list selects batch mode: every policy runs
+// over the same benchmark window, fanned across -jobs workers, and one
+// summary row prints per policy in list order (the output is identical at
+// any -jobs value).
 //
 // Observability (see README "Observability" for the JSONL schema):
 //
@@ -38,11 +44,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
 
 	"pdp/internal/cache"
 	"pdp/internal/core"
 	"pdp/internal/experiments"
 	"pdp/internal/faultinject"
+	"pdp/internal/parallel"
 	"pdp/internal/resilience"
 	"pdp/internal/telemetry"
 	"pdp/internal/tracefile"
@@ -53,7 +63,8 @@ func main() {
 	bench := flag.String("bench", "436.cactusADM", "benchmark model name")
 	traceFile := flag.String("trace", "", "replay a recorded .pdpt trace instead of a model")
 	apki := flag.Float64("apki", 10, "accesses per kiloinstruction for -trace runs")
-	policy := flag.String("policy", "pdp-8", "LLC policy")
+	policy := flag.String("policy", "pdp-8", "LLC policy, or a comma-separated list (batch mode)")
+	jobs := flag.Int("jobs", 1, "concurrent runs in batch mode (0 = all cores)")
 	n := flag.Int("n", 1_000_000, "measured LLC accesses")
 	seed := flag.Uint64("seed", 42, "random seed")
 	list := flag.Bool("list", false, "list benchmark models and exit")
@@ -110,11 +121,17 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	spec, err := experiments.SpecByName(*policy, *n)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	policyNames := strings.Split(*policy, ",")
+	specs := make([]experiments.PolicySpec, len(policyNames))
+	for i, nm := range policyNames {
+		var err error
+		specs[i], err = experiments.SpecByName(strings.TrimSpace(nm), *n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
+	spec := specs[0]
 	faults, err := faultinject.Parse(*inject)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -166,6 +183,17 @@ func main() {
 	// deterministic, so the skipped prefix is replayed, not re-measured).
 	ctx, cancel := resilience.WithShutdown(context.Background())
 	defer cancel()
+
+	if len(specs) > 1 {
+		runBatch(ctx, b, specs, batchOptions{
+			n: *n, seed: *seed, jobs: *jobs, statsFmt: *statsFmt,
+			checkpoint: *checkpoint, resume: *resume, checkpointEvery: *checkpointEvery,
+			timeout: *timeout, memProfile: *memProfile,
+			faults: faults, reg: reg, journal: journal,
+			snapshotEvery: *snapshotEvery, journalSample: *journalSample,
+		})
+		return
+	}
 
 	key := resilience.RunKey(b.Name+"/"+spec.Name, *n, *seed)
 	var ck *resilience.Checkpoint
@@ -308,4 +336,147 @@ func main() {
 			journal.Total(), *telemetryOut,
 			journal.CountKind(telemetry.KindPDRecompute), journal.CountKind(telemetry.KindSnapshot))
 	}
+}
+
+// batchOptions carries the flag values the batch path consumes.
+type batchOptions struct {
+	n               int
+	seed            uint64
+	jobs            int
+	statsFmt        string
+	checkpoint      string
+	resume          bool
+	checkpointEvery uint64
+	timeout         time.Duration
+	memProfile      string
+	faults          faultinject.Spec
+	reg             *telemetry.Registry
+	journal         *telemetry.Journal
+	snapshotEvery   uint64
+	journalSample   uint64
+}
+
+// runBatch drives every policy over the same benchmark window across
+// opt.jobs workers and prints one summary per policy, in list order.
+// Each run is an independent simulation seeded identically, so the batch
+// output does not depend on the jobs count. Checkpoint offset saves from
+// concurrent runs are serialized through a resilience.Saver.
+func runBatch(ctx context.Context, b workload.Benchmark, specs []experiments.PolicySpec, opt batchOptions) {
+	var ck *resilience.Checkpoint
+	if opt.checkpoint != "" {
+		if opt.resume {
+			var err error
+			ck, err = resilience.LoadCheckpoint(opt.checkpoint)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			ck = resilience.NewCheckpoint()
+		}
+	}
+	var saver *resilience.Saver
+	if ck != nil {
+		saver = resilience.NewSaver(func() error {
+			return resilience.Retry(ctx, resilience.RetryConfig{
+				Name: "checkpoint.save", Journal: opt.journal,
+				Transient: func(error) bool { return true },
+			}, func() error { return ck.Save(opt.checkpoint, opt.journal) })
+		}, func(err error) {
+			fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+		})
+		defer saver.Close()
+	}
+
+	rep := faultinject.NewReporter(opt.journal)
+	sup := &resilience.Supervisor{Timeout: opt.timeout, Journal: opt.journal}
+	results := make([]experiments.RunResult, len(specs))
+	out := sup.Run(ctx, b.Name, func(runCtx context.Context, hb *resilience.Heartbeat) error {
+		return parallel.ForEach(opt.jobs, len(specs), func(i int) error {
+			s := specs[i]
+			key := resilience.RunKey(b.Name+"/"+s.Name, opt.n, opt.seed)
+			var start uint64
+			if ck != nil {
+				if start = ck.Offset(key); start > 0 {
+					fmt.Fprintf(os.Stderr, "[resuming %s at measured access %d]\n", key, start)
+				}
+			}
+			rcfg := experiments.Config{Ctx: runCtx, Heartbeat: hb}
+			if opt.faults.TraceEnabled() {
+				rcfg.WrapBench = func(wb workload.Benchmark) workload.Benchmark {
+					return faultinject.WrapBenchmark(wb, opt.faults, rep)
+				}
+			}
+			ropt := experiments.RunOptions{
+				Telemetry: experiments.TelemetryOptions{
+					Registry:      opt.reg,
+					Journal:       opt.journal,
+					SnapshotEvery: opt.snapshotEvery,
+					EventSample:   opt.journalSample,
+					Attach: func(_ *cache.Cache, pol cache.Policy) cache.Monitor {
+						p, _ := pol.(*core.PDP)
+						return faultinject.NewPDPInjector(p, opt.faults, rep)
+					},
+				},
+				StartAccess: start,
+			}
+			if ck != nil && opt.checkpointEvery > 0 {
+				ropt.ProgressEvery = opt.checkpointEvery
+				ropt.OnProgress = func(done uint64) {
+					ck.SetOffset(key, done)
+					saver.Request()
+				}
+			}
+			results[i] = experiments.RunSingleResilient(rcfg.Bench(b), s, opt.n, opt.seed, ropt)
+			if ck != nil {
+				ck.ClearOffset(key)
+				saver.Request()
+			}
+			return nil
+		})
+	})
+	if out.Err != nil {
+		opt.journal.Flush()
+		fmt.Fprintln(os.Stderr, out.Err)
+		os.Exit(1)
+	}
+	if rep.Total() > 0 {
+		fmt.Fprintf(os.Stderr, "[injected %d faults: %v]\n", rep.Total(), rep.Counts())
+	}
+	if err := opt.journal.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "telemetry journal: %v\n", err)
+		os.Exit(1)
+	}
+	if opt.memProfile != "" {
+		if err := telemetry.WriteHeapProfile(opt.memProfile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if opt.statsFmt == "json" {
+		type row struct {
+			experiments.RunResult
+			HitRate    float64 `json:"hit_rate"`
+			BypassFrac float64 `json:"bypass_frac"`
+		}
+		rows := make([]row, len(results))
+		for i, r := range results {
+			rows[i] = row{RunResult: r, HitRate: r.Stats.HitRate(), BypassFrac: r.BypassFrac()}
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(rows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("benchmark %s, %d measured accesses (after %d warm-up)\n",
+		b.Name, opt.n, experiments.Warmup(opt.n))
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\thit%\tMPKI\tIPC\tbypass%")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.3f\t%.4f\t%.2f\n",
+			r.Policy, 100*r.Stats.HitRate(), r.MPKI, r.IPC, 100*r.BypassFrac())
+	}
+	tw.Flush()
 }

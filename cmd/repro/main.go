@@ -23,6 +23,12 @@
 //	-slow ID=D      artificially delay experiment ID by D (watchdog tests)
 //	-telemetry F    JSONL journal of run/watchdog/fault/recovery events
 //
+// Performance:
+//
+//	-jobs N         fan each experiment's independent simulation tasks
+//	                across N workers (0 = all cores); every N produces
+//	                byte-identical tables
+//
 // The pseudo-experiment id `faultcamp` runs a seeded fault campaign (clean
 // vs injected run plus graceful-degradation checks) using -inject, or a
 // default spec when -inject is empty.
@@ -53,6 +59,7 @@ func main() {
 	mixes4 := flag.Int("mixes4", 0, "override the number of 4-core mixes (fig12)")
 	mixes16 := flag.Int("mixes16", 0, "override the number of 16-core mixes (fig12)")
 	seed := flag.Uint64("seed", 42, "random seed")
+	jobs := flag.Int("jobs", 1, "concurrent simulation tasks per experiment (0 = all cores; tables are identical at any value)")
 	timeout := flag.Duration("timeout", 0, "per-experiment watchdog timeout (0 disables)")
 	keepGoing := flag.Bool("keep-going", false, "continue past failing experiments (forced on for `all`)")
 	checkpoint := flag.String("checkpoint", "", "record completed experiments in this JSON file")
@@ -116,6 +123,10 @@ func main() {
 	if *mixes16 > 0 {
 		cfg.Mixes16 = *mixes16
 	}
+	cfg.Jobs = *jobs
+	if *jobs <= 0 {
+		cfg.Jobs = -1 // GOMAXPROCS
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -148,6 +159,13 @@ func main() {
 	if ckPath == "" && *resume {
 		ckPath = defaultCheckpoint
 	}
+	runCfg := resilience.RunConfig{
+		Accesses:            cfg.Accesses,
+		MCAccessesPerThread: cfg.MCAccessesPerThread,
+		Mixes4:              cfg.Mixes4,
+		Mixes16:             cfg.Mixes16,
+		Seed:                cfg.Seed,
+	}
 	var ck *resilience.Checkpoint
 	if ckPath != "" {
 		if *resume {
@@ -156,24 +174,32 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			if n := ck.CompletedCount(); n > 0 {
+			// A checkpoint written under a different run configuration must
+			// not be trusted: its completion marks describe different
+			// windows. Start fresh instead of silently resuming.
+			if ok, why := ck.ConfigMatches(runCfg); !ok {
+				fmt.Fprintf(os.Stderr, "[checkpoint %s ignored: %s; starting fresh]\n", ckPath, why)
+				ck = resilience.NewCheckpoint()
+			} else if n := ck.CompletedCount(); n > 0 {
 				fmt.Printf("[resuming: %d experiments already completed in %s]\n", n, ckPath)
 			}
 		} else {
 			ck = resilience.NewCheckpoint()
 		}
+		ck.SetConfig(runCfg)
 	}
-	saveCheckpoint := func() {
-		if ck == nil {
-			return
-		}
-		err := resilience.Retry(ctx, resilience.RetryConfig{
-			Name: "checkpoint.save", Journal: journal,
-			Transient: func(error) bool { return true },
-		}, func() error { return ck.Save(ckPath, journal) })
-		if err != nil {
+	// All saves flow through one owner goroutine: concurrent completions
+	// coalesce instead of racing their atomic renames out of order.
+	var saver *resilience.Saver
+	if ck != nil {
+		saver = resilience.NewSaver(func() error {
+			return resilience.Retry(ctx, resilience.RetryConfig{
+				Name: "checkpoint.save", Journal: journal,
+				Transient: func(error) bool { return true },
+			}, func() error { return ck.Save(ckPath, journal) })
+		}, func(err error) {
 			fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
-		}
+		})
 	}
 
 	rep := faultinject.NewReporter(journal)
@@ -218,7 +244,7 @@ func main() {
 		fmt.Printf("[%s done in %v]\n", e.ID, out.Duration.Round(time.Millisecond))
 		if ck != nil {
 			ck.MarkDone(key, out.Duration)
-			saveCheckpoint()
+			saver.Request()
 		}
 		return true
 	}
@@ -254,7 +280,9 @@ func main() {
 			}
 		}
 	}
-	saveCheckpoint()
+	if saver != nil {
+		saver.Close()
+	}
 	if journal != nil {
 		if err := journal.Flush(); err != nil {
 			fmt.Fprintf(os.Stderr, "telemetry journal: %v\n", err)
@@ -305,6 +333,7 @@ func faultCampExperiment(spec faultinject.Spec, journal *telemetry.Journal) expe
 				Accesses: cfg.Accesses,
 				Seed:     cfg.Seed,
 				Journal:  journal,
+				Jobs:     cfg.Jobs,
 			})
 			if err != nil {
 				return err

@@ -16,6 +16,7 @@ import (
 	"pdp/internal/cpusim"
 	"pdp/internal/metrics"
 	"pdp/internal/opt"
+	"pdp/internal/parallel"
 	"pdp/internal/rrip"
 	"pdp/internal/trace"
 	"pdp/internal/workload"
@@ -30,21 +31,38 @@ func OptGap(cfg Config) error {
 		recompute = 4096
 	}
 	specs := []PolicySpec{specDRRIP(1.0 / 32), specSDP(), specPDP(8, recompute)}
-	tw := table(cfg.Out)
-	fmt.Fprintln(tw, "benchmark\tDIP hit%\tOPT-B hit%\tDRRIP\tSDP\tPDP-8")
-	rows := map[string][]float64{}
-	for _, b := range workload.Suite() {
+	suite := workload.Suite()
+	type optRow struct {
+		ost  opt.Stats
+		base RunResult
+		runs []RunResult
+	}
+	rowsP, err := parallel.Map(cfg.jobs(), len(suite), func(i int) (optRow, error) {
+		b := suite[i]
 		// Record the same access window OPT will consume.
 		g := b.Generator(LLCSets, 1, cfg.Seed)
-		for i := Warmup(cfg.Accesses); i > 0; i-- {
+		for j := Warmup(cfg.Accesses); j > 0; j-- {
 			g.Next()
 		}
 		accs := opt.Collect(g, cfg.Accesses)
 		ost, err := opt.Simulate(accs, LLCSets, LLCWays, true)
 		if err != nil {
-			return err
+			return optRow{}, err
 		}
-		base := RunSingle(cfg.Bench(b), specDIP(), cfg.Accesses, cfg.Seed)
+		row := optRow{ost: ost, base: RunSingle(cfg.Bench(b), specDIP(), cfg.Accesses, cfg.Seed)}
+		for _, s := range specs {
+			row.runs = append(row.runs, RunSingle(cfg.Bench(b), s, cfg.Accesses, cfg.Seed))
+		}
+		return row, nil
+	})
+	if err != nil {
+		return err
+	}
+	tw := table(cfg.Out)
+	fmt.Fprintln(tw, "benchmark\tDIP hit%\tOPT-B hit%\tDRRIP\tSDP\tPDP-8")
+	rows := map[string][]float64{}
+	for i, b := range suite {
+		ost, base := rowsP[i].ost, rowsP[i].base
 		head := float64(ost.Hits) - float64(base.Stats.Hits)
 		// Benchmarks where DIP already sits at OPT (streaming,
 		// LRU-friendly) have no headroom to recover; exclude them from the
@@ -52,8 +70,8 @@ func OptGap(cfg Config) error {
 		meaningful := head >= 0.01*float64(cfg.Accesses)
 		fmt.Fprintf(tw, "%s\t%.1f\t%.1f", b.Name,
 			100*base.Stats.HitRate(), 100*ost.HitRate())
-		for _, s := range specs {
-			r := RunSingle(cfg.Bench(b), s, cfg.Accesses, cfg.Seed)
+		for j, s := range specs {
+			r := rowsP[i].runs[j]
 			if !meaningful {
 				fmt.Fprintf(tw, "\t(n/a)")
 				continue
@@ -102,15 +120,25 @@ func ClassPDPExp(cfg Config) error {
 		return counter.New(counter.Config{Sets: s, Ways: w, AllowBypass: true})
 	}}
 	specs := []PolicySpec{specSDP(), ship, aip, specPDP(8, recompute), specClassPDP(8, recompute)}
+	suite := workload.Suite()
+	// Column 0 is the DIP base, columns 1.. follow specs.
+	grid, err := parallel.Grid(cfg.jobs(), len(suite), 1+len(specs), func(r, c int) (RunResult, error) {
+		if c == 0 {
+			return RunSingle(cfg.Bench(suite[r]), specDIP(), cfg.Accesses, cfg.Seed), nil
+		}
+		return RunSingle(cfg.Bench(suite[r]), specs[c-1], cfg.Accesses, cfg.Seed), nil
+	})
+	if err != nil {
+		return err
+	}
 	tw := table(cfg.Out)
 	fmt.Fprintln(tw, "benchmark\tSDP\tSHiP\tAIP\tPDP-8\tPDP-C8")
 	avg := map[string][]float64{}
-	for _, b := range workload.Suite() {
-		base := RunSingle(cfg.Bench(b), specDIP(), cfg.Accesses, cfg.Seed)
+	for i, b := range suite {
+		base := grid[i][0]
 		fmt.Fprintf(tw, "%s", b.Name)
-		for _, s := range specs {
-			r := RunSingle(cfg.Bench(b), s, cfg.Accesses, cfg.Seed)
-			imp := metrics.Improvement(r.IPC, base.IPC)
+		for j, s := range specs {
+			imp := metrics.Improvement(grid[i][1+j].IPC, base.IPC)
 			fmt.Fprintf(tw, "\t%s", fmtPct(imp))
 			avg[s.Name] = append(avg[s.Name], imp)
 		}
@@ -137,17 +165,27 @@ func Energy(cfg Config) error {
 	}
 	model := cpu.DefaultEnergy()
 	specs := []PolicySpec{specDRRIP(1.0 / 32), specSDP(), specPDP(8, recompute)}
+	suite := workload.Suite()
+	grid, err := parallel.Grid(cfg.jobs(), len(suite), 1+len(specs), func(r, c int) (RunResult, error) {
+		if c == 0 {
+			return RunSingle(cfg.Bench(suite[r]), specDIP(), cfg.Accesses, cfg.Seed), nil
+		}
+		return RunSingle(cfg.Bench(suite[r]), specs[c-1], cfg.Accesses, cfg.Seed), nil
+	})
+	if err != nil {
+		return err
+	}
 	tw := table(cfg.Out)
 	fmt.Fprintln(tw, "benchmark\tDRRIP\tSDP\tPDP-8\t| PDP-8 LLC-write energy vs DIP")
 	var avg = map[string][]float64{}
 	var wAvg []float64
-	for _, b := range workload.Suite() {
-		base := RunSingle(cfg.Bench(b), specDIP(), cfg.Accesses, cfg.Seed)
+	for i, b := range suite {
+		base := grid[i][0]
 		be := model.Estimate(base.Stats.Hits, base.Stats.Inserts, base.Stats.Bypasses, base.Stats.Misses)
 		fmt.Fprintf(tw, "%s", b.Name)
 		var pdpWrite float64
-		for _, s := range specs {
-			r := RunSingle(cfg.Bench(b), s, cfg.Accesses, cfg.Seed)
+		for j, s := range specs {
+			r := grid[i][1+j]
 			e := model.Estimate(r.Stats.Hits, r.Stats.Inserts, r.Stats.Bypasses, r.Stats.Misses)
 			rel := metrics.Reduction(e.Total(), be.Total())
 			fmt.Fprintf(tw, "\t%s", fmtPct(rel))
@@ -217,20 +255,28 @@ func Timing(cfg Config) error {
 	if recompute < 4096 {
 		recompute = 4096
 	}
+	suite := workload.Suite()
+	type timedRow struct {
+		aDIP, sDIP, aPDP, sPDP float64
+	}
+	rows, err := parallel.Map(cfg.jobs(), len(suite), func(i int) (timedRow, error) {
+		var row timedRow
+		var err error
+		if row.aDIP, row.sDIP, err = runTimed(suite[i], specDIP(), cfg.Accesses, cfg.Seed); err != nil {
+			return row, err
+		}
+		row.aPDP, row.sPDP, err = runTimed(suite[i], specPDP(8, recompute), cfg.Accesses, cfg.Seed)
+		return row, err
+	})
+	if err != nil {
+		return err
+	}
 	tw := table(cfg.Out)
 	fmt.Fprintln(tw, "benchmark\tblocking model\tinterval (MLP) model")
 	var aAvg, sAvg []float64
-	for _, b := range workload.Suite() {
-		aDIP, sDIP, err := runTimed(b, specDIP(), cfg.Accesses, cfg.Seed)
-		if err != nil {
-			return err
-		}
-		aPDP, sPDP, err := runTimed(b, specPDP(8, recompute), cfg.Accesses, cfg.Seed)
-		if err != nil {
-			return err
-		}
-		ia := metrics.Improvement(aPDP, aDIP)
-		is := metrics.Improvement(sPDP, sDIP)
+	for i, b := range suite {
+		ia := metrics.Improvement(rows[i].aPDP, rows[i].aDIP)
+		is := metrics.Improvement(rows[i].sPDP, rows[i].sDIP)
 		fmt.Fprintf(tw, "%s\t%s\t%s\n", b.Name, fmtPct(ia), fmtPct(is))
 		aAvg = append(aAvg, ia)
 		sAvg = append(sAvg, is)

@@ -6,6 +6,7 @@ import (
 	"pdp/internal/cache"
 	"pdp/internal/cpu"
 	"pdp/internal/metrics"
+	"pdp/internal/parallel"
 	"pdp/internal/partition"
 	"pdp/internal/rrip"
 	"pdp/internal/telemetry"
@@ -203,14 +204,38 @@ func Fig12(cfg Config) error {
 		fmt.Fprintf(cfg.Out, "\n-- %d cores, %d mixes, %d accesses/thread --\n",
 			cores, setup.mixes, cfg.MCAccessesPerThread)
 
-		// Stand-alone IPCs, cached per benchmark.
+		// Stand-alone IPCs, cached per benchmark. Unique benchmarks are
+		// collected in deterministic first-appearance order, then measured
+		// across the worker pool.
+		var uniq []workload.Benchmark
 		singles := map[string]float64{}
 		for _, m := range mixes {
 			for _, b := range m.Benchs {
 				if _, ok := singles[b.Name]; !ok {
-					singles[b.Name] = singleIPC(b, cores, cfg.MCAccessesPerThread, cfg.Seed)
+					singles[b.Name] = 0
+					uniq = append(uniq, b)
 				}
 			}
+		}
+		ipcs, err := parallel.Map(cfg.jobs(), len(uniq), func(i int) (float64, error) {
+			return singleIPC(uniq[i], cores, cfg.MCAccessesPerThread, cfg.Seed), nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, b := range uniq {
+			singles[b.Name] = ipcs[i]
+		}
+
+		// All mix x policy runs, column 0 = the TA-DRRIP base. Each cell is
+		// an independent run seeded only by the mix id, so the grid is
+		// identical at every jobs count.
+		runs, err := parallel.Grid(cfg.jobs(), len(mixes), len(policies), func(r, c int) (MixResult, error) {
+			m := mixes[r]
+			return RunMix(cfg.Mix(m), policies[c], cfg.MCAccessesPerThread, cfg.Seed+uint64(m.ID)), nil
+		})
+		if err != nil {
+			return err
 		}
 
 		type agg struct{ w, t, h []float64 }
@@ -224,7 +249,7 @@ func Fig12(cfg Config) error {
 			fmt.Fprintf(tw, "\t%s dW", p.Name)
 		}
 		fmt.Fprintln(tw)
-		for _, m := range mixes {
+		for mi, m := range mixes {
 			single := make([]float64, cores)
 			for t, b := range m.Benchs {
 				single[t] = singles[b.Name]
@@ -241,10 +266,10 @@ func Fig12(cfg Config) error {
 				}
 				return w, t, h
 			}
-			baseW, baseT, baseH := eval(RunMix(cfg.Mix(m), policies[0], cfg.MCAccessesPerThread, cfg.Seed+uint64(m.ID)))
+			baseW, baseT, baseH := eval(runs[mi][0])
 			fmt.Fprintf(tw, "%d\t%s", m.ID, shortNames(m.Names))
-			for _, p := range policies[1:] {
-				w, t, h := eval(RunMix(cfg.Mix(m), p, cfg.MCAccessesPerThread, cfg.Seed+uint64(m.ID)))
+			for pi, p := range policies[1:] {
+				w, t, h := eval(runs[mi][1+pi])
 				dw := metrics.Improvement(w, baseW)
 				dt := metrics.Improvement(t, baseT)
 				dh := metrics.Improvement(h, baseH)

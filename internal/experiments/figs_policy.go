@@ -7,6 +7,7 @@ import (
 	"pdp/internal/core"
 	"pdp/internal/cpu"
 	"pdp/internal/metrics"
+	"pdp/internal/parallel"
 	"pdp/internal/prefetch"
 	"pdp/internal/trace"
 	"pdp/internal/workload"
@@ -24,26 +25,42 @@ func staticPDs() []int {
 }
 
 // Fig2 reproduces paper Fig. 2: DRRIP misses as a function of epsilon,
-// normalized to epsilon = 1/32.
+// normalized to epsilon = 1/32. Cells of the benchmark x epsilon grid are
+// independent runs, fanned across cfg.Jobs workers; the table renders
+// after the grid completes, in fixed order.
 func Fig2(cfg Config) error {
 	header(cfg.Out, "fig2", "DRRIP MPKI vs epsilon (normalized to 1/32)")
 	benches := []string{"403.gcc", "436.cactusADM", "464.h264ref", "483.xalancbmk.3"}
+	bs := make([]workload.Benchmark, len(benches))
+	for i, name := range benches {
+		b, ok := workload.ByName(name)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %s", name)
+		}
+		bs[i] = b
+	}
+	// Column 0 is the epsilon = 1/32 normalization base.
+	grid, err := parallel.Grid(cfg.jobs(), len(bs), 1+len(epsilons), func(r, c int) (RunResult, error) {
+		eps := 1.0 / 32
+		if c > 0 {
+			eps = epsilons[c-1]
+		}
+		return RunSingle(cfg.Bench(bs[r]), specDRRIP(eps), cfg.Accesses, cfg.Seed), nil
+	})
+	if err != nil {
+		return err
+	}
 	tw := table(cfg.Out)
 	fmt.Fprint(tw, "benchmark")
 	for _, e := range epsilons {
 		fmt.Fprintf(tw, "\t1/%.0f", 1/e)
 	}
 	fmt.Fprintln(tw)
-	for _, name := range benches {
-		b, ok := workload.ByName(name)
-		if !ok {
-			return fmt.Errorf("unknown benchmark %s", name)
-		}
-		base := RunSingle(cfg.Bench(b), specDRRIP(1.0/32), cfg.Accesses, cfg.Seed).MPKI
+	for r, name := range benches {
+		base := grid[r][0].MPKI
 		fmt.Fprint(tw, name)
-		for _, e := range epsilons {
-			r := RunSingle(cfg.Bench(b), specDRRIP(e), cfg.Accesses, cfg.Seed)
-			fmt.Fprintf(tw, "\t%.3f", r.MPKI/base)
+		for c := range epsilons {
+			fmt.Fprintf(tw, "\t%.3f", grid[r][c+1].MPKI/base)
 		}
 		fmt.Fprintln(tw)
 	}
@@ -67,24 +84,41 @@ func bestOver[T any](b workload.Benchmark, grid []T, mk func(T) PolicySpec, n in
 
 // Fig4 reproduces paper Fig. 4: miss reduction over DRRIP(1/32) of DRRIP
 // with the best epsilon, best static SPDP-NB, and best static SPDP-B.
+// Each benchmark row (baseline plus three grid sweeps, ~40 runs) is one
+// pool task; rows render in suite order once all complete.
 func Fig4(cfg Config) error {
 	header(cfg.Out, "fig4", "Static PDP vs DRRIP: miss reduction over DRRIP(eps=1/32)")
-	tw := table(cfg.Out)
-	fmt.Fprintln(tw, "benchmark\tDRRIP best-eps\tSPDP-NB\t(best PD)\tSPDP-B\t(best PD)")
-	var dAvg, nbAvg, bAvg []float64
-	for _, b := range workload.All() {
+	type row struct {
+		rd, rnb, rb float64
+		pdNB, pdB   int
+	}
+	all := workload.All()
+	rows, err := parallel.Map(cfg.jobs(), len(all), func(i int) (row, error) {
+		b := all[i]
 		base := RunSingle(cfg.Bench(b), specDRRIP(1.0/32), cfg.Accesses, cfg.Seed)
 		bd, _ := bestOver(cfg.Bench(b), epsilons, specDRRIP, cfg.Accesses, cfg.Seed)
 		bnb, pdNB := bestOver(cfg.Bench(b), staticPDs(), func(pd int) PolicySpec { return specSPDP(pd, false) }, cfg.Accesses, cfg.Seed)
 		bb, pdB := bestOver(cfg.Bench(b), staticPDs(), func(pd int) PolicySpec { return specSPDP(pd, true) }, cfg.Accesses, cfg.Seed)
-		rd := metrics.Reduction(float64(bd.Stats.Misses), float64(base.Stats.Misses))
-		rnb := metrics.Reduction(float64(bnb.Stats.Misses), float64(base.Stats.Misses))
-		rb := metrics.Reduction(float64(bb.Stats.Misses), float64(base.Stats.Misses))
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%d\n", b.Name, fmtPct(rd), fmtPct(rnb), pdNB, fmtPct(rb), pdB)
+		return row{
+			rd:   metrics.Reduction(float64(bd.Stats.Misses), float64(base.Stats.Misses)),
+			rnb:  metrics.Reduction(float64(bnb.Stats.Misses), float64(base.Stats.Misses)),
+			rb:   metrics.Reduction(float64(bb.Stats.Misses), float64(base.Stats.Misses)),
+			pdNB: pdNB, pdB: pdB,
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	tw := table(cfg.Out)
+	fmt.Fprintln(tw, "benchmark\tDRRIP best-eps\tSPDP-NB\t(best PD)\tSPDP-B\t(best PD)")
+	var dAvg, nbAvg, bAvg []float64
+	for i, b := range all {
+		r := rows[i]
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%d\n", b.Name, fmtPct(r.rd), fmtPct(r.rnb), r.pdNB, fmtPct(r.rb), r.pdB)
 		if !isExtraWindow(b.Name) {
-			dAvg = append(dAvg, rd)
-			nbAvg = append(nbAvg, rnb)
-			bAvg = append(bAvg, rb)
+			dAvg = append(dAvg, r.rd)
+			nbAvg = append(nbAvg, r.rnb)
+			bAvg = append(bAvg, r.rb)
 		}
 	}
 	fmt.Fprintf(tw, "AVERAGE\t%s\t%s\t\t%s\t\n",
@@ -153,21 +187,37 @@ func (m *occMonitor) Event(ev cache.Event) {
 // DRRIP vs static PDP without and with bypass.
 func Fig5a(cfg Config) error {
 	header(cfg.Out, "fig5a", "Access and occupancy breakdown (hit/bypass/evicted<=16/evicted>16)")
-	for _, name := range []string{"436.cactusADM", "464.h264ref"} {
-		b, ok := workload.ByName(name)
+	names := []string{"436.cactusADM", "464.h264ref"}
+	type section struct {
+		specs []PolicySpec
+		runs  []RunResult
+		mons  []*occMonitor
+	}
+	sections, err := parallel.Map(cfg.jobs(), len(names), func(i int) (section, error) {
+		b, ok := workload.ByName(names[i])
 		if !ok {
-			return fmt.Errorf("unknown benchmark %s", name)
+			return section{}, fmt.Errorf("unknown benchmark %s", names[i])
 		}
 		// Use each policy's best static PD from a quick sweep.
 		_, pdNB := bestOver(cfg.Bench(b), staticPDs(), func(pd int) PolicySpec { return specSPDP(pd, false) }, cfg.Accesses/2, cfg.Seed)
 		_, pdB := bestOver(cfg.Bench(b), staticPDs(), func(pd int) PolicySpec { return specSPDP(pd, true) }, cfg.Accesses/2, cfg.Seed)
-		specs := []PolicySpec{specDRRIP(1.0 / 32), specSPDP(pdNB, false), specSPDP(pdB, true)}
+		s := section{specs: []PolicySpec{specDRRIP(1.0 / 32), specSPDP(pdNB, false), specSPDP(pdB, true)}}
+		for _, spec := range s.specs {
+			mon := newOccMonitor(LLCSets, LLCWays)
+			s.runs = append(s.runs, RunSingleMonitored(cfg.Bench(b), spec, cfg.Accesses, cfg.Seed, mon))
+			s.mons = append(s.mons, mon)
+		}
+		return s, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, name := range names {
 		fmt.Fprintf(cfg.Out, "%s\n", name)
 		tw := table(cfg.Out)
 		fmt.Fprintln(tw, "policy\thit%\tbypass%\tevict<=16%\tevict>16%\t|\tocc promoted%\tocc evict<=16%\tocc evict>16%")
-		for _, spec := range specs {
-			mon := newOccMonitor(LLCSets, LLCWays)
-			r := RunSingleMonitored(cfg.Bench(b), spec, cfg.Accesses, cfg.Seed, mon)
+		for j, spec := range sections[i].specs {
+			r, mon := sections[i].runs[j], sections[i].mons[j]
 			tot := float64(r.Stats.Accesses)
 			occTot := float64(mon.OccPromoted + mon.OccEvictShort + mon.OccEvictLong)
 			if occTot == 0 {
@@ -209,20 +259,27 @@ func Fig9(cfg Config) error {
 		}}
 	}
 	configs := []PolicySpec{mk(true, 1), mk(false, 1), mk(false, 2), mk(false, 4), mk(false, 8)}
+	suite := workload.Suite()
+	// Column 0 (the Full configuration) doubles as the normalization base.
+	grid, err := parallel.Grid(cfg.jobs(), len(suite), len(configs), func(r, c int) (RunResult, error) {
+		return RunSingle(cfg.Bench(suite[r]), configs[c], cfg.Accesses, cfg.Seed), nil
+	})
+	if err != nil {
+		return err
+	}
 	tw := table(cfg.Out)
 	fmt.Fprint(tw, "benchmark")
 	for _, c := range configs {
 		fmt.Fprintf(tw, "\t%s", c.Name)
 	}
 	fmt.Fprintln(tw)
-	for _, b := range workload.Suite() {
-		base := RunSingle(cfg.Bench(b), configs[0], cfg.Accesses, cfg.Seed).MPKI
+	for r, b := range suite {
+		base := grid[r][0].MPKI
 		fmt.Fprint(tw, b.Name)
-		for _, c := range configs {
-			r := RunSingle(cfg.Bench(b), c, cfg.Accesses, cfg.Seed)
+		for c := range configs {
 			norm := 1.0
 			if base > 0 {
-				norm = r.MPKI / base
+				norm = grid[r][c].MPKI / base
 			}
 			fmt.Fprintf(tw, "\t%.3f", norm)
 		}
@@ -249,6 +306,27 @@ func Fig10(cfg Config) error {
 	}
 	coarse := []int{16, 32, 48, 64, 80, 96, 128, 192, 256}
 
+	type row struct {
+		base    RunResult
+		results []RunResult
+	}
+	all := workload.All()
+	rows, err := parallel.Map(cfg.jobs(), len(all), func(i int) (row, error) {
+		b := all[i]
+		out := row{base: RunSingle(cfg.Bench(b), specDIP(), cfg.Accesses, cfg.Seed)}
+		out.results = make([]RunResult, 0, len(specs)+1)
+		for _, s := range specs {
+			out.results = append(out.results, RunSingle(cfg.Bench(b), s, cfg.Accesses, cfg.Seed))
+		}
+		spdpb, _ := bestOver(cfg.Bench(b), coarse, func(pd int) PolicySpec { return specSPDP(pd, true) }, cfg.Accesses, cfg.Seed)
+		spdpb.Policy = "SPDP-B"
+		out.results = append(out.results, spdpb)
+		return out, nil
+	})
+	if err != nil {
+		return err
+	}
+
 	tw := table(cfg.Out)
 	fmt.Fprint(tw, "benchmark\tmetric\tDIP(base)")
 	for _, s := range specs {
@@ -259,15 +337,8 @@ func Fig10(cfg Config) error {
 	avgMiss := map[string][]float64{}
 	avgIPC := map[string][]float64{}
 	avgByp := map[string][]float64{}
-	for _, b := range workload.All() {
-		base := RunSingle(cfg.Bench(b), specDIP(), cfg.Accesses, cfg.Seed)
-		results := make([]RunResult, 0, len(specs)+1)
-		for _, s := range specs {
-			results = append(results, RunSingle(cfg.Bench(b), s, cfg.Accesses, cfg.Seed))
-		}
-		spdpb, _ := bestOver(cfg.Bench(b), coarse, func(pd int) PolicySpec { return specSPDP(pd, true) }, cfg.Accesses, cfg.Seed)
-		spdpb.Policy = "SPDP-B"
-		results = append(results, spdpb)
+	for i, b := range all {
+		base, results := rows[i].base, rows[i].results
 
 		fmt.Fprintf(tw, "%s\tmissRed\t-", b.Name)
 		for _, r := range results {
@@ -321,38 +392,46 @@ func Fig10(cfg Config) error {
 func Fig11(cfg Config) error {
 	header(cfg.Out, "fig11a", "PD recompute interval on phase-changing benchmarks (IPC / smallest interval)")
 	intervals := []uint64{32768, 65536, 131072, 262144}
+	mkPDP := func(iv uint64) PolicySpec {
+		return PolicySpec{Name: "PDP-8", Bypass: true, New: func(s, w int, _ uint64) cache.Policy {
+			return core.New(core.Config{Sets: s, Ways: w, Bypass: true, RecomputeEvery: iv})
+		}}
+	}
+	phased := workload.Phased()
+	gridA, err := parallel.Grid(cfg.jobs(), len(phased), len(intervals), func(r, c int) (RunResult, error) {
+		return RunSingle(cfg.Bench(phased[r]), mkPDP(intervals[c]), cfg.Accesses*2, cfg.Seed), nil
+	})
+	if err != nil {
+		return err
+	}
 	tw := table(cfg.Out)
 	fmt.Fprint(tw, "benchmark")
 	for _, iv := range intervals {
 		fmt.Fprintf(tw, "\t%dK", iv/1024)
 	}
 	fmt.Fprintln(tw)
-	mkPDP := func(iv uint64) PolicySpec {
-		return PolicySpec{Name: "PDP-8", Bypass: true, New: func(s, w int, _ uint64) cache.Policy {
-			return core.New(core.Config{Sets: s, Ways: w, Bypass: true, RecomputeEvery: iv})
-		}}
-	}
-	for _, b := range workload.Phased() {
-		var base float64
+	for r, b := range phased {
+		base := gridA[r][0].IPC
 		fmt.Fprint(tw, b.Name)
-		for i, iv := range intervals {
-			r := RunSingle(cfg.Bench(b), mkPDP(iv), cfg.Accesses*2, cfg.Seed)
-			if i == 0 {
-				base = r.IPC
-			}
-			fmt.Fprintf(tw, "\t%.3f", r.IPC/base)
+		for c := range intervals {
+			fmt.Fprintf(tw, "\t%.3f", gridA[r][c].IPC/base)
 		}
 		fmt.Fprintln(tw)
 	}
 	tw.Flush()
 
 	header(cfg.Out, "fig11b", "Policies on phase-changing benchmarks (IPC improvement over DIP)")
+	specsB := []PolicySpec{specDIP(), specDRRIP(1.0 / 32), mkPDP(65536)}
+	gridB, err := parallel.Grid(cfg.jobs(), len(phased), len(specsB), func(r, c int) (RunResult, error) {
+		return RunSingle(cfg.Bench(phased[r]), specsB[c], cfg.Accesses*2, cfg.Seed), nil
+	})
+	if err != nil {
+		return err
+	}
 	tw = table(cfg.Out)
 	fmt.Fprintln(tw, "benchmark\tDRRIP\tPDP-8")
-	for _, b := range workload.Phased() {
-		base := RunSingle(cfg.Bench(b), specDIP(), cfg.Accesses*2, cfg.Seed)
-		d := RunSingle(cfg.Bench(b), specDRRIP(1.0/32), cfg.Accesses*2, cfg.Seed)
-		p := RunSingle(cfg.Bench(b), mkPDP(65536), cfg.Accesses*2, cfg.Seed)
+	for r, b := range phased {
+		base, d, p := gridB[r][0], gridB[r][1], gridB[r][2]
 		fmt.Fprintf(tw, "%s\t%s\t%s\n", b.Name,
 			fmtPct(metrics.Improvement(d.IPC, base.IPC)),
 			fmtPct(metrics.Improvement(p.IPC, base.IPC)))
@@ -360,18 +439,29 @@ func Fig11(cfg Config) error {
 	tw.Flush()
 
 	header(cfg.Out, "fig11c", "PD over time (one sample per recompute)")
-	for _, b := range workload.Phased() {
+	trajectories, err := parallel.Map(cfg.jobs(), len(phased), func(i int) ([]int, error) {
+		b := phased[i]
 		pol := core.New(core.Config{Sets: LLCSets, Ways: LLCWays, Bypass: true,
 			RecomputeEvery: 65536, RecordHistory: true})
 		c := cache.New(cache.Config{Name: "LLC", Sets: LLCSets, Ways: LLCWays,
 			LineSize: trace.LineSize, AllowBypass: true}, pol)
 		g := b.Generator(LLCSets, 1, cfg.Seed)
-		for i := 0; i < cfg.Accesses*2; i++ {
+		for j := 0; j < cfg.Accesses*2; j++ {
 			c.Access(g.Next())
 		}
-		fmt.Fprintf(cfg.Out, "%s:", b.Name)
+		var pds []int
 		for _, pt := range pol.History() {
-			fmt.Fprintf(cfg.Out, " %d", pt.PD)
+			pds = append(pds, pt.PD)
+		}
+		return pds, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, b := range phased {
+		fmt.Fprintf(cfg.Out, "%s:", b.Name)
+		for _, pd := range trajectories[i] {
+			fmt.Fprintf(cfg.Out, " %d", pd)
 		}
 		fmt.Fprintln(cfg.Out)
 	}
@@ -393,14 +483,28 @@ func Sec63(cfg Config) error {
 				RecomputeEvery: recompute, InsertPD: 1})
 		}},
 	}
-	spdpb, pd := bestOver(cfg.Bench(b), staticPDs(), func(pd int) PolicySpec { return specSPDP(pd, true) }, cfg.Accesses, cfg.Seed)
+	type cell struct {
+		r  RunResult
+		pd int
+	}
+	// Tasks 0..len(specs)-1 are the policy runs, the last is the SPDP-B sweep.
+	cells, err := parallel.Map(cfg.jobs(), len(specs)+1, func(i int) (cell, error) {
+		if i == len(specs) {
+			r, pd := bestOver(cfg.Bench(b), staticPDs(), func(pd int) PolicySpec { return specSPDP(pd, true) }, cfg.Accesses, cfg.Seed)
+			return cell{r: r, pd: pd}, nil
+		}
+		return cell{r: RunSingle(cfg.Bench(b), specs[i], cfg.Accesses, cfg.Seed)}, nil
+	})
+	if err != nil {
+		return err
+	}
 	tw := table(cfg.Out)
 	fmt.Fprintln(tw, "policy\tmiss reduction vs DIP")
-	for _, s := range specs {
-		r := RunSingle(cfg.Bench(b), s, cfg.Accesses, cfg.Seed)
-		fmt.Fprintf(tw, "%s\t%s\n", s.Name, fmtPct(metrics.Reduction(float64(r.Stats.Misses), float64(base.Stats.Misses))))
+	for i, s := range specs {
+		fmt.Fprintf(tw, "%s\t%s\n", s.Name, fmtPct(metrics.Reduction(float64(cells[i].r.Stats.Misses), float64(base.Stats.Misses))))
 	}
-	fmt.Fprintf(tw, "SPDP-B(best=%d)\t%s\n", pd, fmtPct(metrics.Reduction(float64(spdpb.Stats.Misses), float64(base.Stats.Misses))))
+	sweep := cells[len(specs)]
+	fmt.Fprintf(tw, "SPDP-B(best=%d)\t%s\n", sweep.pd, fmtPct(metrics.Reduction(float64(sweep.r.Stats.Misses), float64(base.Stats.Misses))))
 	return tw.Flush()
 }
 
@@ -499,21 +603,30 @@ func Sec65(cfg Config) error {
 		}}
 	}
 	benches := []string{"403.gcc", "450.soplex", "482.sphinx3", "483.xalancbmk.3", "436.cactusADM", "470.lbm"}
-	tw := table(cfg.Out)
-	fmt.Fprintln(tw, "benchmark\tPDP(pf-unaware)\tPDP(insert PD=1)\tPDP(bypass pf)")
-	var a1, a2, a3 []float64
-	for _, name := range benches {
+	bs := make([]workload.Benchmark, len(benches))
+	for i, name := range benches {
 		b, ok := workload.ByName(name)
 		if !ok {
 			return fmt.Errorf("unknown benchmark %s", name)
 		}
-		base := runPrefetch(b, specDRRIP(1.0/32), cfg.Accesses, cfg.Seed, true)
-		r1 := runPrefetch(b, mk("PDP", core.PFNormal), cfg.Accesses, cfg.Seed, true)
-		r2 := runPrefetch(b, mk("PDP-pd1", core.PFInsertPD1), cfg.Accesses, cfg.Seed, true)
-		r3 := runPrefetch(b, mk("PDP-byp", core.PFBypass), cfg.Accesses, cfg.Seed, true)
-		i1 := metrics.Improvement(r1.IPC, base.IPC)
-		i2 := metrics.Improvement(r2.IPC, base.IPC)
-		i3 := metrics.Improvement(r3.IPC, base.IPC)
+		bs[i] = b
+	}
+	cols := []PolicySpec{specDRRIP(1.0 / 32), mk("PDP", core.PFNormal),
+		mk("PDP-pd1", core.PFInsertPD1), mk("PDP-byp", core.PFBypass)}
+	grid, err := parallel.Grid(cfg.jobs(), len(bs), len(cols), func(r, c int) (RunResult, error) {
+		return runPrefetch(bs[r], cols[c], cfg.Accesses, cfg.Seed, true), nil
+	})
+	if err != nil {
+		return err
+	}
+	tw := table(cfg.Out)
+	fmt.Fprintln(tw, "benchmark\tPDP(pf-unaware)\tPDP(insert PD=1)\tPDP(bypass pf)")
+	var a1, a2, a3 []float64
+	for r, name := range benches {
+		base := grid[r][0]
+		i1 := metrics.Improvement(grid[r][1].IPC, base.IPC)
+		i2 := metrics.Improvement(grid[r][2].IPC, base.IPC)
+		i3 := metrics.Improvement(grid[r][3].IPC, base.IPC)
 		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", name, fmtPct(i1), fmtPct(i2), fmtPct(i3))
 		a1, a2, a3 = append(a1, i1), append(a2, i2), append(a3, i3)
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"pdp/internal/core"
+	"pdp/internal/parallel"
 	"pdp/internal/pdproc"
 	"pdp/internal/sampler"
 	"pdp/internal/trace"
@@ -57,15 +58,32 @@ func printRDD(cfg Config, name string, arr *sampler.CounterArray) {
 	}
 }
 
+// measureRDDs collects the RDDs of several benchmarks across cfg.Jobs
+// workers (each measurement is an independent full-sampler pass).
+func measureRDDs(cfg Config, bs []workload.Benchmark, sc int) ([]*sampler.CounterArray, error) {
+	return parallel.Map(cfg.jobs(), len(bs), func(i int) (*sampler.CounterArray, error) {
+		return measureRDD(bs[i], sc, cfg.Accesses, cfg.Seed), nil
+	})
+}
+
 // Fig1 reproduces paper Fig. 1: RDDs of selected benchmarks.
 func Fig1(cfg Config) error {
 	header(cfg.Out, "fig1", "Reuse distance distributions of selected benchmarks")
-	for _, name := range []string{"403.gcc", "436.cactusADM", "450.soplex", "464.h264ref", "482.sphinx3"} {
+	names := []string{"403.gcc", "436.cactusADM", "450.soplex", "464.h264ref", "482.sphinx3"}
+	bs := make([]workload.Benchmark, len(names))
+	for i, name := range names {
 		b, ok := workload.ByName(name)
 		if !ok {
 			return fmt.Errorf("unknown benchmark %s", name)
 		}
-		printRDD(cfg, name, measureRDD(b, 4, cfg.Accesses, cfg.Seed))
+		bs[i] = b
+	}
+	arrs, err := measureRDDs(cfg, bs, 4)
+	if err != nil {
+		return err
+	}
+	for i, name := range names {
+		printRDD(cfg, name, arrs[i])
 		fmt.Fprintln(cfg.Out)
 	}
 	return nil
@@ -74,8 +92,13 @@ func Fig1(cfg Config) error {
 // Fig5b reproduces paper Fig. 5b: RDDs of the three xalancbmk windows.
 func Fig5b(cfg Config) error {
 	header(cfg.Out, "fig5b", "RDDs of three windows of 483.xalancbmk")
-	for _, b := range workload.XalancWindows() {
-		printRDD(cfg, b.Name, measureRDD(b, 4, cfg.Accesses, cfg.Seed))
+	windows := workload.XalancWindows()
+	arrs, err := measureRDDs(cfg, windows, 4)
+	if err != nil {
+		return err
+	}
+	for i, b := range windows {
+		printRDD(cfg, b.Name, arrs[i])
 		fmt.Fprintln(cfg.Out)
 	}
 	return nil
@@ -86,12 +109,26 @@ func Fig5b(cfg Config) error {
 func Fig6(cfg Config) error {
 	header(cfg.Out, "fig6", "E(d_p) vs measured hit rate (model validation)")
 	benches := []string{"464.h264ref", "403.gcc", "482.sphinx3", "483.xalancbmk.2", "436.cactusADM"}
-	for _, name := range benches {
-		b, ok := workload.ByName(name)
+	type fig6Row struct {
+		arr  *sampler.CounterArray
+		runs []RunResult // one per d_p step
+	}
+	rows, err := parallel.Map(cfg.jobs(), len(benches), func(i int) (fig6Row, error) {
+		b, ok := workload.ByName(benches[i])
 		if !ok {
-			return fmt.Errorf("unknown benchmark %s", name)
+			return fig6Row{}, fmt.Errorf("unknown benchmark %s", benches[i])
 		}
-		arr := measureRDD(b, 4, cfg.Accesses, cfg.Seed)
+		row := fig6Row{arr: measureRDD(b, 4, cfg.Accesses, cfg.Seed)}
+		for dp := 16; dp <= 256; dp += 16 {
+			row.runs = append(row.runs, RunSingle(cfg.Bench(b), specSPDP(dp, true), cfg.Accesses, cfg.Seed))
+		}
+		return row, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, name := range benches {
+		arr := rows[i].arr
 		ev := core.EValues(arr, LLCWays)
 		// Normalize E to its max for readability (it is proportional to the
 		// hit rate, not equal).
@@ -110,8 +147,8 @@ func Fig6(cfg Config) error {
 		}
 		bestModel, bestMeasured := 0, 0
 		bestE, bestHR := -1.0, -1.0
-		for dp := 16; dp <= 256; dp += 16 {
-			r := RunSingle(cfg.Bench(b), specSPDP(dp, true), cfg.Accesses, cfg.Seed)
+		for step, r := range rows[i].runs {
+			dp := 16 * (step + 1)
 			k := dp/4 - 1
 			e := 0.0
 			if maxE > 0 {
@@ -152,20 +189,32 @@ func Tab2(cfg Config) error {
 	}
 	buckets := []bucket{{1, 16, nil}, {17, 32, nil}, {33, 64, nil}, {65, 128, nil}, {129, 256, nil}}
 	none := []string{}
+	suite := workload.Suite()
+	type tab2Cell struct {
+		pd int
+		e  float64
+	}
+	cells, err := parallel.Map(cfg.jobs(), len(suite), func(i int) (tab2Cell, error) {
+		arr := measureRDD(suite[i], 4, cfg.Accesses, cfg.Seed)
+		pd, e := core.FindPD(arr, LLCWays)
+		return tab2Cell{pd: pd, e: e}, nil
+	})
+	if err != nil {
+		return err
+	}
 	tw := table(cfg.Out)
 	fmt.Fprintln(tw, "benchmark\tcomputed PD\tE")
-	for _, b := range workload.Suite() {
-		arr := measureRDD(b, 4, cfg.Accesses, cfg.Seed)
-		pd, e := core.FindPD(arr, LLCWays)
+	for i, b := range suite {
+		pd, e := cells[i].pd, cells[i].e
 		if pd == 0 {
 			none = append(none, b.Name)
 			fmt.Fprintf(tw, "%s\t(no reuse)\t-\n", b.Name)
 			continue
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%.5f\n", b.Name, pd, e)
-		for i := range buckets {
-			if pd >= buckets[i].lo && pd <= buckets[i].hi {
-				buckets[i].names = append(buckets[i].names, b.Name)
+		for j := range buckets {
+			if pd >= buckets[j].lo && pd <= buckets[j].hi {
+				buckets[j].names = append(buckets[j].names, b.Name)
 			}
 		}
 	}
@@ -184,17 +233,26 @@ func Tab2(cfg Config) error {
 // cycle cost negligible against the 512K-access recompute interval.
 func PDProc(cfg Config) error {
 	header(cfg.Out, "pdproc", "Hardware PD-compute processor vs software search")
-	tw := table(cfg.Out)
-	fmt.Fprintln(tw, "benchmark\tsoftware PD\thardware PD\tcycles\tfraction of 512K interval")
-	for _, b := range workload.Suite() {
-		arr := measureRDD(b, 4, cfg.Accesses, cfg.Seed)
+	suite := workload.Suite()
+	type pdprocCell struct {
+		sw  int
+		res pdproc.Result
+	}
+	cells, err := parallel.Map(cfg.jobs(), len(suite), func(i int) (pdprocCell, error) {
+		arr := measureRDD(suite[i], 4, cfg.Accesses, cfg.Seed)
 		sw, _ := core.FindPD(arr, LLCWays)
 		res, err := pdproc.Compute(arr, LLCWays)
-		if err != nil {
-			return err
-		}
+		return pdprocCell{sw: sw, res: res}, err
+	})
+	if err != nil {
+		return err
+	}
+	tw := table(cfg.Out)
+	fmt.Fprintln(tw, "benchmark\tsoftware PD\thardware PD\tcycles\tfraction of 512K interval")
+	for i, b := range suite {
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.5f\n",
-			b.Name, sw, res.PD, res.Cycles, float64(res.Cycles)/(512*1024))
+			b.Name, cells[i].sw, cells[i].res.PD, cells[i].res.Cycles,
+			float64(cells[i].res.Cycles)/(512*1024))
 	}
 	tw.Flush()
 	fmt.Fprintf(cfg.Out, "program: %d instructions in the 16-op ISA (mult8=8cy, div32=33cy)\n",

@@ -15,6 +15,7 @@ import (
 	"pdp/internal/cpu"
 	"pdp/internal/dip"
 	"pdp/internal/eelru"
+	"pdp/internal/parallel"
 	"pdp/internal/resilience"
 	"pdp/internal/rrip"
 	"pdp/internal/sdp"
@@ -40,6 +41,11 @@ type Config struct {
 	Mixes4, Mixes16 int
 	// Seed fixes all random streams.
 	Seed uint64
+	// Jobs bounds the number of concurrent simulation tasks per experiment
+	// (0 or 1 = serial, < 0 = GOMAXPROCS). Tables are byte-identical for
+	// every Jobs value: tasks are pure functions of their identity and
+	// rendering happens after the pool drains, in task order.
+	Jobs int
 	// Out receives the rendered tables.
 	Out io.Writer
 	// Ctx, when non-nil, cancels in-flight runs cooperatively: every
@@ -71,6 +77,15 @@ func (cfg Config) Bench(b workload.Benchmark) workload.Benchmark {
 		}
 	}
 	return b
+}
+
+// jobs returns the experiment-level concurrency bound: 0 and 1 mean
+// serial, negative values resolve to GOMAXPROCS.
+func (cfg Config) jobs() int {
+	if cfg.Jobs == 0 {
+		return 1
+	}
+	return parallel.Jobs(cfg.Jobs)
 }
 
 // Mix applies Bench to every benchmark of a multi-programmed mix.
@@ -279,7 +294,10 @@ type TelemetryOptions struct {
 	// (bypasses, protected evictions, sampler FIFO evictions); <= 1
 	// journals all.
 	EventSample uint64
-	// Extra is an additional cache monitor observing the same run.
+	// Extra is an additional cache monitor observing the same run. A
+	// monitor shared by several concurrent runs (e.g. one aggregate
+	// observer across a Jobs > 1 fan-out) must be wrapped in
+	// telemetry.Synchronized; per-run monitors need no locking.
 	Extra cache.Monitor
 	// Attach, when non-nil, runs on the warmed-up cache and policy just
 	// before the measured window and may return one more monitor to fan

@@ -7,6 +7,7 @@ import (
 	"pdp/internal/cache"
 	"pdp/internal/core"
 	"pdp/internal/experiments"
+	"pdp/internal/parallel"
 	"pdp/internal/telemetry"
 	"pdp/internal/workload"
 )
@@ -45,7 +46,14 @@ type CampaignConfig struct {
 	// converged (default 4).
 	PDTolerance int
 	// Journal receives fault, recovery and telemetry events (nil disables).
+	// It is safe to share across the campaign's concurrent runs (the journal
+	// serializes appends internally).
 	Journal *telemetry.Journal
+	// Jobs bounds the campaign's run concurrency: with Jobs >= 2 the clean
+	// and faulty runs execute on separate workers (they share no mutable
+	// state beyond the journal). 0 or 1 keeps them serial; < 0 selects
+	// GOMAXPROCS. The report is identical either way.
+	Jobs int
 }
 
 // CampaignReport is the outcome of a fault campaign.
@@ -142,19 +150,10 @@ func RunCampaign(cfg CampaignConfig) (CampaignReport, error) {
 		},
 	}
 
-	// Clean reference run.
-	var cleanChk *Checker
-	clean := experiments.RunSingleTelemetry(cfg.Bench, spec, cfg.Accesses, cfg.Seed, experiments.TelemetryOptions{
-		Attach: func(_ *cache.Cache, pol cache.Policy) cache.Monitor {
-			cleanChk = NewChecker(pdpOf(pol))
-			return nil
-		},
-	})
-
-	// Faulty run. The trace wrapper's clock counts every record it emits,
-	// warm-up included, while the PDP injector attaches after warm-up — so
-	// the two fault windows close at the same architectural point only
-	// when the trace Until is offset by the warm-up length.
+	// The fault window: the trace wrapper's clock counts every record it
+	// emits, warm-up included, while the PDP injector attaches after
+	// warm-up — so the two fault windows close at the same architectural
+	// point only when the trace Until is offset by the warm-up length.
 	warm := uint64(experiments.Warmup(cfg.Accesses))
 	traceSpec, polSpec := cfg.Spec, cfg.Spec
 	if wholeRun {
@@ -164,16 +163,42 @@ func RunCampaign(cfg CampaignConfig) (CampaignReport, error) {
 		polSpec.Until = cfg.FaultAccesses
 	}
 	rep := NewReporter(cfg.Journal)
-	var faultyChk *Checker
-	faulty := experiments.RunSingleTelemetry(WrapBenchmark(cfg.Bench, traceSpec, rep), spec, cfg.Accesses, cfg.Seed,
-		experiments.TelemetryOptions{
-			Journal: cfg.Journal,
-			Attach: func(_ *cache.Cache, pol cache.Policy) cache.Monitor {
-				p := pdpOf(pol)
-				faultyChk = NewChecker(p)
-				return NewPDPInjector(p, polSpec, rep)
-			},
-		})
+
+	// The clean reference and the faulty run share only the (internally
+	// synchronized) journal, so with Jobs >= 2 they execute concurrently.
+	var clean, faulty experiments.RunResult
+	var cleanChk, faultyChk *Checker
+	runs := []func(){
+		func() {
+			clean = experiments.RunSingleTelemetry(cfg.Bench, spec, cfg.Accesses, cfg.Seed, experiments.TelemetryOptions{
+				Attach: func(_ *cache.Cache, pol cache.Policy) cache.Monitor {
+					cleanChk = NewChecker(pdpOf(pol))
+					return nil
+				},
+			})
+		},
+		func() {
+			faulty = experiments.RunSingleTelemetry(WrapBenchmark(cfg.Bench, traceSpec, rep), spec, cfg.Accesses, cfg.Seed,
+				experiments.TelemetryOptions{
+					Journal: cfg.Journal,
+					Attach: func(_ *cache.Cache, pol cache.Policy) cache.Monitor {
+						p := pdpOf(pol)
+						faultyChk = NewChecker(p)
+						return NewPDPInjector(p, polSpec, rep)
+					},
+				})
+		},
+	}
+	jobs := cfg.Jobs
+	if jobs == 0 {
+		jobs = 1
+	}
+	if err := parallel.ForEach(jobs, len(runs), func(i int) error {
+		runs[i]()
+		return nil
+	}); err != nil {
+		return CampaignReport{}, err
+	}
 
 	r := CampaignReport{
 		Clean: clean, Faulty: faulty,

@@ -1,0 +1,162 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestJobsResolution(t *testing.T) {
+	if Jobs(4) != 4 {
+		t.Fatal("explicit jobs must pass through")
+	}
+	if Jobs(0) < 1 || Jobs(-3) < 1 {
+		t.Fatal("jobs <= 0 must resolve to at least one worker")
+	}
+}
+
+func TestDeriveSeedDeterministicAndDistinct(t *testing.T) {
+	a := DeriveSeed(42, "fig10/403.gcc/DIP")
+	b := DeriveSeed(42, "fig10/403.gcc/DIP")
+	if a != b {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	seen := map[uint64]string{}
+	for _, id := range []string{"a", "b", "c", "fig12/mix0", "fig12/mix1", ""} {
+		for _, base := range []uint64{0, 1, 42, 1 << 40} {
+			s := DeriveSeed(base, id)
+			key := fmt.Sprintf("%s/%d", id, base)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %q and %q -> %d", prev, key, s)
+			}
+			seen[s] = key
+		}
+	}
+}
+
+func TestMapOrdersResultsByTask(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8, 0} {
+		got, err := Map(jobs, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("jobs=%d: results[%d] = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapSerialAndParallelAgree(t *testing.T) {
+	task := func(i int) (uint64, error) { return DeriveSeed(7, fmt.Sprint(i)), nil }
+	serial, err := Map(1, 64, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(8, 64, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("results diverge at %d: %d vs %d", i, serial[i], par[i])
+		}
+	}
+}
+
+func TestMapReturnsFirstErrorByIndex(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, jobs := range []int{1, 4} {
+		_, err := Map(jobs, 32, func(i int) (int, error) {
+			if i == 5 || i == 20 {
+				return 0, fmt.Errorf("task-%d: %w", i, sentinel)
+			}
+			return i, nil
+		})
+		if err == nil || !errors.Is(err, sentinel) {
+			t.Fatalf("jobs=%d: want wrapped sentinel, got %v", jobs, err)
+		}
+	}
+}
+
+func TestMapStopsLaunchingAfterFailure(t *testing.T) {
+	var started atomic.Int64
+	_, err := Map(2, 10_000, func(i int) (int, error) {
+		started.Add(1)
+		return 0, errors.New("immediate failure")
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := started.Load(); n > 100 {
+		t.Fatalf("pool kept launching after failure: %d tasks started", n)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(4, 50, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 49*50/2 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	out, err := Grid(4, 3, 5, func(r, c int) (string, error) {
+		return fmt.Sprintf("%d:%d", r, c), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("rows = %d", len(out))
+	}
+	for r := range out {
+		if len(out[r]) != 5 {
+			t.Fatalf("row %d cols = %d", r, len(out[r]))
+		}
+		for c := range out[r] {
+			if want := fmt.Sprintf("%d:%d", r, c); out[r][c] != want {
+				t.Fatalf("out[%d][%d] = %q, want %q", r, c, out[r][c], want)
+			}
+		}
+	}
+}
+
+func TestMapRepanicsOnCaller(t *testing.T) {
+	// The resilience layer cancels runs by panicking a sentinel out of
+	// guarded generators and recovering it in the supervisor — which only
+	// works if worker panics resurface on the goroutine that called Map.
+	type sentinel struct{ n int }
+	for _, jobs := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if _, ok := r.(sentinel); !ok {
+					t.Fatalf("jobs=%d: recovered %v, want sentinel", jobs, r)
+				}
+			}()
+			Map(jobs, 16, func(i int) (int, error) {
+				if i == 3 {
+					panic(sentinel{i})
+				}
+				return i, nil
+			})
+			t.Fatalf("jobs=%d: Map returned instead of panicking", jobs)
+		}()
+	}
+}
+
+func TestMapZeroTasks(t *testing.T) {
+	got, err := Map(8, 0, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}

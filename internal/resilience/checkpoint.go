@@ -33,9 +33,24 @@ type Checkpoint struct {
 	d  checkpointData
 }
 
+// RunConfig records the run parameters a checkpoint was produced under.
+// Only parameters that change what a completed run means are included —
+// the jobs count is deliberately absent, because tables are identical at
+// every jobs count and a `-jobs 8` campaign may resume a `-jobs 1` one.
+type RunConfig struct {
+	Accesses            int    `json:"accesses,omitempty"`
+	MCAccessesPerThread int    `json:"mc_accesses_per_thread,omitempty"`
+	Mixes4              int    `json:"mixes4,omitempty"`
+	Mixes16             int    `json:"mixes16,omitempty"`
+	Seed                uint64 `json:"seed,omitempty"`
+}
+
 // checkpointData is the JSON shape of a checkpoint file.
 type checkpointData struct {
 	Version int `json:"version"`
+	// Config is the recorded run configuration (zero value: unrecorded,
+	// written by pre-config checkpoints).
+	Config RunConfig `json:"config,omitempty"`
 	// Completed maps run ids (experiment ids) to their completion marks.
 	Completed map[string]RunMark `json:"completed,omitempty"`
 	// Offsets maps resume keys (bench/window/seed) to the number of
@@ -85,6 +100,40 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return c, nil
+}
+
+// SetConfig stamps the run configuration into the checkpoint.
+func (c *Checkpoint) SetConfig(rc RunConfig) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.d.Config = rc
+}
+
+// ConfigMatches reports whether a resume under rc may trust this
+// checkpoint's completion marks. A zero recorded config (a checkpoint
+// written before configs were recorded, or an empty checkpoint) matches
+// anything; otherwise every field must agree, and the returned reason
+// names the first mismatch.
+func (c *Checkpoint) ConfigMatches(rc RunConfig) (bool, string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec := c.d.Config
+	if rec == (RunConfig{}) {
+		return true, ""
+	}
+	switch {
+	case rec.Accesses != rc.Accesses:
+		return false, fmt.Sprintf("recorded accesses=%d, current %d", rec.Accesses, rc.Accesses)
+	case rec.MCAccessesPerThread != rc.MCAccessesPerThread:
+		return false, fmt.Sprintf("recorded mc-accesses=%d, current %d", rec.MCAccessesPerThread, rc.MCAccessesPerThread)
+	case rec.Mixes4 != rc.Mixes4:
+		return false, fmt.Sprintf("recorded mixes4=%d, current %d", rec.Mixes4, rc.Mixes4)
+	case rec.Mixes16 != rc.Mixes16:
+		return false, fmt.Sprintf("recorded mixes16=%d, current %d", rec.Mixes16, rc.Mixes16)
+	case rec.Seed != rc.Seed:
+		return false, fmt.Sprintf("recorded seed=%d, current %d", rec.Seed, rc.Seed)
+	}
+	return true, ""
 }
 
 // Done reports whether run id completed.

@@ -1,0 +1,76 @@
+package resilience
+
+// Saver serializes checkpoint saves through a single owner goroutine.
+//
+// With experiments fanned across a worker pool, several tasks can finish
+// (and want their completion persisted) at nearly the same moment. Letting
+// each caller invoke Checkpoint.Save directly is safe against corruption —
+// saves are atomic temp-file + rename — but concurrent savers interleave:
+// renames land in arbitrary order, so an older in-memory snapshot can
+// overwrite a newer one, silently dropping completion marks. The Saver
+// fixes the ordering by making one goroutine the only writer: callers
+// Request() a save (cheap, non-blocking, coalescing) and the owner snapshots
+// the checkpoint's current state on each save, so every write is at least
+// as new as the request that triggered it.
+type Saver struct {
+	save  func() error
+	onErr func(error)
+	kick  chan struct{}
+	quit  chan struct{}
+	done  chan struct{}
+}
+
+// NewSaver starts the owner goroutine. save performs one persist of the
+// current checkpoint state (callers typically close over Checkpoint.Save,
+// possibly wrapped in Retry); onErr receives save failures (nil discards
+// them). Close the Saver to stop the goroutine and flush a final save.
+func NewSaver(save func() error, onErr func(error)) *Saver {
+	s := &Saver{
+		save:  save,
+		onErr: onErr,
+		kick:  make(chan struct{}, 1),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+func (s *Saver) loop() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.kick:
+			s.runSave()
+		case <-s.quit:
+			// The final save covers any request still pending in kick.
+			s.runSave()
+			return
+		}
+	}
+}
+
+func (s *Saver) runSave() {
+	if err := s.save(); err != nil && s.onErr != nil {
+		s.onErr(err)
+	}
+}
+
+// Request asks the owner to persist the checkpoint. It never blocks:
+// back-to-back requests while a save is in flight coalesce into one
+// follow-up save, which snapshots state at save time and therefore covers
+// all of them.
+func (s *Saver) Request() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Close performs a final save and stops the owner goroutine. It returns
+// once the final save has finished; further Requests are no-ops that no
+// goroutine will ever service.
+func (s *Saver) Close() {
+	close(s.quit)
+	<-s.done
+}

@@ -1,0 +1,128 @@
+package resilience
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSaverSerializesConcurrentRequests(t *testing.T) {
+	var inFlight, maxInFlight, saves atomic.Int64
+	saver := NewSaver(func() error {
+		if n := inFlight.Add(1); n > maxInFlight.Load() {
+			maxInFlight.Store(n)
+		}
+		time.Sleep(time.Millisecond)
+		saves.Add(1)
+		inFlight.Add(-1)
+		return nil
+	}, nil)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				saver.Request()
+			}
+		}()
+	}
+	wg.Wait()
+	saver.Close()
+
+	if maxInFlight.Load() != 1 {
+		t.Fatalf("saves overlapped: max in-flight %d", maxInFlight.Load())
+	}
+	if n := saves.Load(); n < 1 {
+		t.Fatalf("no save ran (%d)", n)
+	}
+	// Coalescing: 400 requests must not mean 400 saves.
+	if n := saves.Load(); n > 100 {
+		t.Fatalf("requests did not coalesce: %d saves", n)
+	}
+}
+
+func TestSaverCloseFlushesFinalState(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	ck := NewCheckpoint()
+	saver := NewSaver(func() error { return ck.Save(path, nil) }, nil)
+	ck.MarkDone("fig2", time.Second)
+	// No Request: Close alone must still persist the latest state.
+	saver.Close()
+
+	loaded, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Done("fig2") {
+		t.Fatal("final save missing completion mark")
+	}
+}
+
+func TestSaverReportsErrors(t *testing.T) {
+	var got atomic.Int64
+	boom := NewSaver(func() error { return os.ErrPermission }, func(err error) {
+		if err == os.ErrPermission {
+			got.Add(1)
+		}
+	})
+	boom.Request()
+	boom.Close()
+	if got.Load() == 0 {
+		t.Fatal("save error not reported")
+	}
+}
+
+func TestCheckpointConfigMatch(t *testing.T) {
+	rc := RunConfig{Accesses: 1000, MCAccessesPerThread: 400, Mixes4: 2, Mixes16: 1, Seed: 42}
+	ck := NewCheckpoint()
+
+	// Unrecorded config (pre-config checkpoints, fresh checkpoints)
+	// matches anything.
+	if ok, _ := ck.ConfigMatches(rc); !ok {
+		t.Fatal("zero recorded config must match")
+	}
+
+	ck.SetConfig(rc)
+	if ok, why := ck.ConfigMatches(rc); !ok {
+		t.Fatalf("identical config rejected: %s", why)
+	}
+	for _, tc := range []struct {
+		name string
+		mut  func(RunConfig) RunConfig
+	}{
+		{"accesses", func(c RunConfig) RunConfig { c.Accesses++; return c }},
+		{"mc-accesses", func(c RunConfig) RunConfig { c.MCAccessesPerThread++; return c }},
+		{"mixes4", func(c RunConfig) RunConfig { c.Mixes4++; return c }},
+		{"mixes16", func(c RunConfig) RunConfig { c.Mixes16++; return c }},
+		{"seed", func(c RunConfig) RunConfig { c.Seed++; return c }},
+	} {
+		if ok, why := ck.ConfigMatches(tc.mut(rc)); ok {
+			t.Fatalf("%s mismatch accepted", tc.name)
+		} else if why == "" {
+			t.Fatalf("%s mismatch has no reason", tc.name)
+		}
+	}
+
+	// The config survives the save/load round trip.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	if err := ck.Save(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, why := loaded.ConfigMatches(rc); !ok {
+		t.Fatalf("round-tripped config rejected: %s", why)
+	}
+	if ok, _ := loaded.ConfigMatches(RunConfig{Accesses: 9}); ok {
+		t.Fatal("round-tripped config matched a different run")
+	}
+}

@@ -252,12 +252,20 @@ func (s *RDSampler) Array() *CounterArray { return s.arr }
 // Config returns the sampler configuration.
 func (s *RDSampler) Config() Config { return s.cfg }
 
-// partialTag hashes a line address to the 16-bit stored tag.
+// partialTag hashes a line address to the 16-bit stored tag. Tag 0 is
+// reserved: the modeled hardware FIFO stores nothing but the 16-bit tag,
+// so an all-zero entry is indistinguishable from an empty slot. Addresses
+// hashing to 0 map to 1 instead — one more alias on tag 1 (harmless; the
+// sampler tolerates aliasing by design) rather than a tag that can shadow
+// or be shadowed by empty slots.
 func partialTag(addr uint64) uint16 {
 	x := addr >> 6
 	x ^= x >> 16
 	x ^= x >> 32
-	return uint16(x)
+	if t := uint16(x); t != 0 {
+		return t
+	}
+	return 1
 }
 
 // sampledSlot returns the sampler slot of a cache set, or -1 if the set is

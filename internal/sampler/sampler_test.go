@@ -247,7 +247,9 @@ func TestSamplerStatsAndFIFOEvictHook(t *testing.T) {
 	s := New(Config{CacheSets: 1, SampledSets: 1, FIFODepth: 2, InsertRate: 1, DMax: 16, Sc: 4})
 	var hookSlots []int
 	s.OnFIFOEvict = func(slot int) { hookSlots = append(hookSlots, slot) }
-	for i := 0; i < 6; i++ {
+	// Addresses start at line 1: line 0 hashes to the reserved tag-0
+	// sentinel and would alias line 1's tag.
+	for i := 1; i <= 6; i++ {
 		s.Access(0, uint64(i)*64)
 	}
 	if s.Stats.Accesses != 6 || s.Stats.Inserts != 6 {
@@ -271,9 +273,9 @@ func TestSamplerStatsAndFIFOEvictHook(t *testing.T) {
 	s2 := New(Config{CacheSets: 1, SampledSets: 1, FIFODepth: 2, InsertRate: 1, DMax: 16, Sc: 4})
 	fired := false
 	s2.OnFIFOEvict = func(int) { fired = true }
-	s2.Access(0, 0*64)
-	s2.Access(0, 1*64)
-	s2.Access(0, 0*64) // hit: invalidates the tag-0 entry...
+	s2.Access(0, 2*64)
+	s2.Access(0, 3*64)
+	s2.Access(0, 2*64) // hit: invalidates the tag-2 entry...
 	if s2.Stats.Hits != 1 {
 		t.Fatalf("hits = %d, want 1", s2.Stats.Hits)
 	}
@@ -285,5 +287,30 @@ func TestSamplerStatsAndFIFOEvictHook(t *testing.T) {
 	s.Reset()
 	if s.Stats.Accesses != 6 {
 		t.Fatalf("Reset cleared cumulative stats: %+v", s.Stats)
+	}
+}
+
+func TestPartialTagReservesZeroSentinel(t *testing.T) {
+	// Any address below one line (addr>>6 == 0) hashes to raw tag 0, which
+	// the modeled hardware cannot store: a tag-only FIFO entry of 0 is an
+	// empty slot. The hash must remap those addresses to the sentinel 1.
+	for _, addr := range []uint64{0, 1, 8, 63} {
+		if got := partialTag(addr); got != 1 {
+			t.Fatalf("partialTag(%#x) = %d, want sentinel 1", addr, got)
+		}
+	}
+	// No address may produce tag 0.
+	for addr := uint64(0); addr < 1<<20; addr += 64 {
+		if partialTag(addr) == 0 {
+			t.Fatalf("partialTag(%#x) = 0", addr)
+		}
+	}
+	// Regression: a reuse of address 0 must be measured as a hit, exactly
+	// like any other address.
+	s := New(Config{CacheSets: 1, SampledSets: 1, FIFODepth: 4, InsertRate: 1, DMax: 16, Sc: 4})
+	s.Access(0, 0)
+	s.Access(0, 0)
+	if s.Stats.Hits != 1 {
+		t.Fatalf("reuse of address 0 not measured: stats = %+v", s.Stats)
 	}
 }

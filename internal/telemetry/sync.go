@@ -1,0 +1,38 @@
+package telemetry
+
+import (
+	"sync"
+
+	"pdp/internal/cache"
+)
+
+// syncMonitor serializes Event calls into the wrapped monitor.
+type syncMonitor struct {
+	mu  sync.Mutex
+	mon cache.Monitor
+}
+
+// Event implements cache.Monitor.
+func (s *syncMonitor) Event(ev cache.Event) {
+	s.mu.Lock()
+	s.mon.Event(ev)
+	s.mu.Unlock()
+}
+
+// Synchronized wraps a monitor so concurrent caches can share it safely.
+//
+// Every monitor built inside a run — a Tap, an occupancy monitor, a fault
+// checker — is driven by exactly one cache on one goroutine and needs no
+// locking. The exception is a monitor attached to several runs at once
+// (TelemetryOptions.Extra or an Attach result reused across RunSingle
+// calls fanned over the worker pool): its Event method then races. Wrap
+// such a monitor in Synchronized once and share the wrapper; the embedded
+// mutex serializes delivery while per-run monitors stay lock-free.
+//
+// A nil monitor returns nil, mirroring Multi's nil-dropping.
+func Synchronized(mon cache.Monitor) cache.Monitor {
+	if mon == nil {
+		return nil
+	}
+	return &syncMonitor{mon: mon}
+}

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Benchmark the parallel experiment engine: run a fixed slice of the repro
+# suite at -jobs 1, 2 and 8, record wall-clock seconds per jobs count into
+# BENCH_parallel.json, and fail if any jobs count changes a single output
+# byte (the engine's determinism contract).
+#
+# Usage: scripts/bench_parallel.sh [scale] [experiments...]
+set -eu
+
+scale="${1:-0.2}"
+if [ "$#" -ge 1 ]; then shift; fi
+exps="${*:-fig2 fig5b fig9 sec63 fig12}"
+
+cd "$(dirname "$0")/.."
+go build -o /tmp/pdp-repro-bench ./cmd/repro
+
+now_s() { date +%s.%N 2>/dev/null || date +%s; }
+
+json="{\n  \"suite\": \"repro $exps\",\n  \"scale\": $scale,\n  \"nproc\": $(nproc),\n  \"runs\": {"
+first=1
+base=""
+for jobs in 1 2 8; do
+    out="/tmp/pdp-repro-bench-j$jobs.txt"
+    t0=$(now_s)
+    # shellcheck disable=SC2086
+    /tmp/pdp-repro-bench -scale "$scale" -jobs "$jobs" $exps \
+        | grep -v '^\[.* done in .*\]$' > "$out"
+    t1=$(now_s)
+    secs=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }')
+    echo "jobs=$jobs: ${secs}s"
+    if [ -z "$base" ]; then
+        base="$out"
+    elif ! cmp -s "$base" "$out"; then
+        echo "FAIL: output at -jobs $jobs differs from -jobs 1" >&2
+        exit 1
+    fi
+    [ "$first" = 1 ] || json="$json,"
+    first=0
+    json="$json\n    \"jobs_$jobs\": {\"seconds\": $secs}"
+done
+json="$json\n  }\n}"
+printf "$json\n" > BENCH_parallel.json
+echo "wrote BENCH_parallel.json (outputs byte-identical across jobs)"
