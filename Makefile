@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-parallel repro repro-parallel fuzz faultcamp clean
+.PHONY: check build vet test race bench bench-parallel bench-serve repro repro-parallel fuzz faultcamp serve loadtest serve-smoke clean
 
 # check is the CI gate: build, vet, race-enabled tests.
 check: build vet race
@@ -33,6 +33,24 @@ repro:
 # The suite on all cores; byte-identical to `make repro`, just faster.
 repro-parallel:
 	$(GO) run ./cmd/repro -jobs 0 all
+
+# Serving layer: start the PDP-backed KV cache server on :7070.
+serve:
+	$(GO) run ./cmd/pdpcached -addr :7070 -policy pdp
+
+# Replay the default zipf-loop mix against a running `make serve`.
+loadtest:
+	$(GO) run ./cmd/pdpload -url http://127.0.0.1:7070 -mix zipf-loop -workers 4 -ops 20000
+
+# Serving smoke: build both serving binaries and run the end-to-end
+# PDP-vs-LRU comparison (plus the kvcache shard race test) under -race.
+serve-smoke:
+	$(GO) build ./cmd/pdpcached ./cmd/pdpload
+	$(GO) test -race -count=1 ./internal/kvcache/ ./internal/kvserver/ ./internal/loadgen/
+
+# Serving throughput + hit rate at 1/4/8 workers, into BENCH_serve.json.
+bench-serve:
+	./scripts/bench_serve.sh
 
 # Fuzz smoke: the two untrusted decoders (trace files, checkpoints).
 fuzz:

@@ -60,6 +60,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-stats must be text or json, got %q\n", *statsFmt)
 		os.Exit(2)
 	}
+	if *journalSample < 1 {
+		fmt.Fprintln(os.Stderr, "-journal-sample must be >= 1 (1 journals every event); 0 is not a valid sample rate")
+		os.Exit(2)
+	}
 
 	var mix workload.Mix
 	switch {

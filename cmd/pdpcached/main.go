@@ -1,0 +1,150 @@
+// pdpcached serves a sharded in-memory key-value cache over HTTP whose
+// eviction policy is the paper's protecting-distance policy running
+// online: an RD sampler measures the live request stream's reuse-distance
+// distribution per shard, and the protecting distance is recomputed
+// periodically from the merged RDD with the E(d_p) hit-rate model — the
+// serving-layer counterpart of the pdpsim simulator.
+//
+//	Usage: pdpcached -addr :7070 -policy pdp -shards 16 -sets 64 -ways 8 \
+//		       -adapt-every 500ms -telemetry serve.jsonl
+//
+// Endpoints:
+//
+//	GET    /kv/{key}   value bytes; X-Cache: hit|miss, 404 on miss
+//	PUT    /kv/{key}   store body; X-Cache: deny when admission-controlled
+//	DELETE /kv/{key}   drop the key
+//	GET    /stats      JSON counters (hit rate, PD, denies, occupancy)
+//	GET    /healthz    liveness
+//
+// SIGINT/SIGTERM shuts down gracefully: in-flight requests drain, the
+// journal flushes, and the final stats line prints to stderr.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pdp/internal/kvcache"
+	"pdp/internal/kvserver"
+	"pdp/internal/resilience"
+	"pdp/internal/telemetry"
+)
+
+func fail(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(code)
+}
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address (use :0 for a random port)")
+	policy := flag.String("policy", "pdp", "eviction policy: pdp or lru")
+	shards := flag.Int("shards", 16, "independently locked cache shards")
+	sets := flag.Int("sets", 64, "sets per shard (need not be a power of two)")
+	ways := flag.Int("ways", 8, "ways per set")
+	maxBytes := flag.Int64("max-bytes", 0, "value-byte budget per shard (0 = unbounded)")
+	dmax := flag.Int("dmax", 256, "maximum protecting distance d_max")
+	nc := flag.Int("nc", 8, "RPD counter bits n_c")
+	sc := flag.Int("sc", 4, "RDD counter step S_c")
+	de := flag.Int("de", 0, "E(d_p) extra-distance term d_e (0 = ways)")
+	defaultPD := flag.Int("pd", 0, "initial protecting distance before the first recompute (0 = ways)")
+	recomputeEvery := flag.Uint64("recompute-every", 64*1024, "recompute the PD inline every N cache accesses")
+	decayShift := flag.Uint("decay-shift", 1, "epoch decay: right-shift RDD counters by this many bits at each recompute")
+	minSamples := flag.Uint64("min-samples", 64, "measured reuses required before a recompute moves the PD")
+	admitAll := flag.Bool("admit-all", false, "disable admission deny (evict an inclusive victim instead)")
+	adaptEvery := flag.Duration("adapt-every", 500*time.Millisecond, "wall-clock PD recompute period")
+	snapshotEvery := flag.Duration("snapshot-every", 2*time.Second, "telemetry snapshot period (needs -telemetry)")
+	maxValue := flag.Int64("max-value-bytes", 1<<20, "largest accepted PUT body")
+	telemetryOut := flag.String("telemetry", "", "write a JSONL telemetry journal to this file")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address")
+	flag.Parse()
+
+	// Interval flags: zero or negative periods are configuration errors,
+	// not silent no-ops — a timer with period <= 0 either never fires or
+	// spins, and neither is what anyone asked for.
+	if *adaptEvery <= 0 {
+		fail(2, "-adapt-every must be a positive duration, got %v", *adaptEvery)
+	}
+	if *snapshotEvery <= 0 {
+		fail(2, "-snapshot-every must be a positive duration, got %v", *snapshotEvery)
+	}
+	if *recomputeEvery < 1 {
+		fail(2, "-recompute-every must be >= 1 access")
+	}
+
+	reg := telemetry.NewRegistry()
+	reg.PublishExpvar("pdpcached")
+	journal := telemetry.NewJournal(0)
+	if *telemetryOut != "" {
+		f, err := os.Create(*telemetryOut)
+		if err != nil {
+			fail(1, "%v", err)
+		}
+		defer f.Close()
+		journal.SetSink(f)
+	}
+	if *pprofAddr != "" {
+		if err := telemetry.ServeDebug(*pprofAddr); err != nil {
+			fail(1, "%v", err)
+		}
+	}
+
+	cache, err := kvcache.New(kvcache.Config{
+		Policy:          kvcache.Policy(*policy),
+		Shards:          *shards,
+		Sets:            *sets,
+		Ways:            *ways,
+		MaxBytes:        *maxBytes,
+		DMax:            *dmax,
+		NC:              *nc,
+		SC:              *sc,
+		DE:              *de,
+		DefaultPD:       *defaultPD,
+		RecomputeEvery:  *recomputeEvery,
+		EpochDecayShift: *decayShift,
+		MinSamples:      *minSamples,
+		AdmitAll:        *admitAll,
+		Registry:        reg,
+		Journal:         journal,
+	})
+	if err != nil {
+		fail(2, "%v", err)
+	}
+
+	srv, err := kvserver.New(cache, kvserver.Config{
+		Addr:          *addr,
+		MaxValueBytes: *maxValue,
+		AdaptEvery:    *adaptEvery,
+		SnapshotEvery: *snapshotEvery,
+		Registry:      reg,
+		Journal:       journal,
+	})
+	if err != nil {
+		fail(2, "%v", err)
+	}
+
+	ctx, stop := resilience.WithShutdown(context.Background())
+	defer stop()
+	if err := srv.Start(ctx); err != nil {
+		fail(1, "%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "pdpcached: policy=%s serving on %s (%d shards x %d sets x %d ways)\n",
+		cache.Config().Policy, srv.Addr(), cache.Config().Shards, cache.Config().Sets, cache.Config().Ways)
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "pdpcached: shutting down")
+	case err := <-srv.Err():
+		fmt.Fprintf(os.Stderr, "pdpcached: serve error: %v\n", err)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "pdpcached: shutdown: %v\n", err)
+	}
+	final, _ := json.Marshal(cache.Stats())
+	fmt.Fprintf(os.Stderr, "pdpcached: final %s\n", final)
+}

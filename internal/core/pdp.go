@@ -61,6 +61,13 @@ type Config struct {
 	// RecordHistory retains (access count, PD) samples for phase studies
 	// (paper Fig. 11c).
 	RecordHistory bool
+	// EpochDecayShift, when > 0, right-shifts the RDD counters by that many
+	// bits at each recomputation instead of clearing them — an exponential
+	// forgetting window. The trace-driven default (0, full reset) matches
+	// the paper's hardware; long-running services (internal/kvcache) use a
+	// shift of 1 so the RDD tracks the recent window while retaining enough
+	// cross-epoch mass to ride out sparse epochs.
+	EpochDecayShift uint
 	// Observer, when non-nil, receives every dynamic PD recomputation
 	// (observability seam; internal/telemetry journals these). It can also
 	// be attached after construction with SetObserver.
@@ -141,14 +148,9 @@ type PDPoint struct {
 // PDP is the Protecting Distance based Policy (paper Sec. 2.2 + Sec. 3).
 // It implements cache.Policy.
 type PDP struct {
-	cfg    Config
-	pd     int // current protecting distance, in accesses
-	sd     int // distance step S_d (accesses per RPD decrement)
-	rpdMax uint16
-
-	rpd    []uint16 // remaining PD per line, in S_d steps
-	reused []bool   // reuse bit (inclusive victim selection)
-	sdCnt  []uint32 // per-set access counter for the S_d stepping
+	cfg  Config
+	pd   int         // current protecting distance, in accesses
+	prot *Protection // per-line RPD + reuse-bit bookkeeping
 
 	smp     *sampler.RDSampler // nil for static PDP
 	accs    uint64
@@ -164,17 +166,9 @@ var _ cache.Policy = (*PDP)(nil)
 func New(cfg Config) *PDP {
 	cfg.setDefaults()
 	cfg.validate()
-	sd := cfg.DMax >> uint(cfg.NC)
-	if sd < 1 {
-		sd = 1
-	}
 	p := &PDP{
-		cfg:    cfg,
-		sd:     sd,
-		rpdMax: uint16(1<<uint(cfg.NC)) - 1,
-		rpd:    make([]uint16, cfg.Sets*cfg.Ways),
-		reused: make([]bool, cfg.Sets*cfg.Ways),
-		sdCnt:  make([]uint32, cfg.Sets),
+		cfg:  cfg,
+		prot: NewProtection(cfg.Sets, cfg.Ways, cfg.DMax, cfg.NC),
 	}
 	if cfg.StaticPD > 0 {
 		p.pd = cfg.StaticPD
@@ -213,7 +207,11 @@ func (p *PDP) Name() string {
 func (p *PDP) PD() int { return p.pd }
 
 // SD returns the distance step S_d.
-func (p *PDP) SD() int { return p.sd }
+func (p *PDP) SD() int { return p.prot.SD() }
+
+// Protection returns the per-line bookkeeping (exported for monitors and
+// invariant checkers).
+func (p *PDP) Protection() *Protection { return p.prot }
 
 // History returns the recorded PD trajectory (empty unless RecordHistory).
 func (p *PDP) History() []PDPoint { return p.history }
@@ -253,31 +251,17 @@ func (p *PDP) SetPDPerturb(f func(pd int) int) { p.cfg.PDPerturb = f }
 // DMax returns the maximum protecting distance (the PD clamp ceiling).
 func (p *PDP) DMax() int { return p.cfg.DMax }
 
-// steps converts a protecting distance in accesses to RPD steps.
-func (p *PDP) steps(pd int) uint16 {
-	s := (pd + p.sd - 1) / p.sd
-	if s < 1 {
-		s = 1
-	}
-	if s > int(p.rpdMax) {
-		s = int(p.rpdMax)
-	}
-	return uint16(s)
-}
-
 // RPD returns the remaining protecting distance of (set, way) in accesses
 // (step-quantized); exported for tests and monitors.
-func (p *PDP) RPD(set, way int) int { return int(p.rpd[set*p.cfg.Ways+way]) * p.sd }
+func (p *PDP) RPD(set, way int) int { return p.prot.RPD(set, way) }
 
 // Protected reports whether the line in (set, way) is currently protected.
-func (p *PDP) Protected(set, way int) bool { return p.rpd[set*p.cfg.Ways+way] > 0 }
+func (p *PDP) Protected(set, way int) bool { return p.prot.Protected(set, way) }
 
 // Hit implements cache.Policy: promotion resets the line's RPD to the PD
 // and marks it reused.
 func (p *PDP) Hit(set, way int, _ trace.Access) {
-	i := set*p.cfg.Ways + way
-	p.rpd[i] = p.steps(p.pd)
-	p.reused[i] = true
+	p.prot.Promote(set, way, p.pd)
 }
 
 // Victim implements cache.Policy (paper Fig. 3 scenarios b-e).
@@ -285,13 +269,10 @@ func (p *PDP) Victim(set int, acc trace.Access) (int, bool) {
 	if p.cfg.Prefetch == PFBypass && acc.Prefetch {
 		return 0, true
 	}
-	base := set * p.cfg.Ways
 
 	// An unprotected line, if any, is the victim.
-	for w := 0; w < p.cfg.Ways; w++ {
-		if p.rpd[base+w] == 0 {
-			return w, false
-		}
+	if w, ok := p.prot.Unprotected(set); ok {
+		return w, false
 	}
 
 	// No unprotected lines: bypass in the non-inclusive configuration.
@@ -299,30 +280,12 @@ func (p *PDP) Victim(set int, acc trace.Access) (int, bool) {
 		return 0, true
 	}
 
-	// Inclusive rules: prefer the inserted (never reused) line with the
-	// highest RPD, else the reused line with the highest RPD — protecting
-	// older lines (paper Sec. 2.2).
-	best, bestRPD := -1, uint16(0)
-	for w := 0; w < p.cfg.Ways; w++ {
-		if !p.reused[base+w] && p.rpd[base+w] >= bestRPD {
-			best, bestRPD = w, p.rpd[base+w]
-		}
-	}
-	if best >= 0 {
-		return best, false
-	}
-	best, bestRPD = 0, p.rpd[base]
-	for w := 1; w < p.cfg.Ways; w++ {
-		if p.rpd[base+w] >= bestRPD {
-			best, bestRPD = w, p.rpd[base+w]
-		}
-	}
-	return best, false
+	// Inclusive rules (paper Sec. 2.2), see Protection.InclusiveVictim.
+	return p.prot.InclusiveVictim(set), false
 }
 
 // Insert implements cache.Policy.
 func (p *PDP) Insert(set, way int, acc trace.Access) {
-	i := set*p.cfg.Ways + way
 	pd := p.pd
 	if p.cfg.InsertPD > 0 {
 		pd = p.cfg.InsertPD
@@ -330,31 +293,19 @@ func (p *PDP) Insert(set, way int, acc trace.Access) {
 	if p.cfg.Prefetch == PFInsertPD1 && acc.Prefetch {
 		pd = 1
 	}
-	p.rpd[i] = p.steps(pd)
-	p.reused[i] = false
+	p.prot.Insert(set, way, pd)
 }
 
 // Evict implements cache.Policy.
 func (p *PDP) Evict(set, way int) {
-	i := set*p.cfg.Ways + way
-	p.rpd[i] = 0
-	p.reused[i] = false
+	p.prot.Clear(set, way)
 }
 
 // PostAccess implements cache.Policy: the once-per-access bookkeeping — the
 // S_d-stepped RPD decrement (counting bypasses, paper Sec. 3), the RD
 // sampler update, and the periodic PD recomputation.
 func (p *PDP) PostAccess(set int, acc trace.Access) {
-	p.sdCnt[set]++
-	if p.sdCnt[set] >= uint32(p.sd) {
-		p.sdCnt[set] = 0
-		base := set * p.cfg.Ways
-		for w := 0; w < p.cfg.Ways; w++ {
-			if p.rpd[base+w] > 0 {
-				p.rpd[base+w]--
-			}
-		}
-	}
+	p.prot.Tick(set)
 
 	if p.smp == nil {
 		return
@@ -396,7 +347,11 @@ func (p *PDP) recompute() {
 			E:      EValues(arr, p.cfg.DE),
 		})
 	}
-	arr.Reset()
+	if p.cfg.EpochDecayShift > 0 {
+		arr.Decay(p.cfg.EpochDecayShift)
+	} else {
+		arr.Reset()
+	}
 	if p.cfg.RecordHistory {
 		p.history = append(p.history, PDPoint{p.accs, p.pd})
 	}
@@ -411,10 +366,10 @@ func (p *PDP) HardwareBits() int {
 	if !p.cfg.Bypass {
 		bits += p.cfg.Sets * p.cfg.Ways // reuse bit
 	}
-	if p.sd > 1 {
+	if sd := p.prot.SD(); sd > 1 {
 		// Per-set counter counting to S_d.
 		logSd := 0
-		for v := p.sd; v > 1; v >>= 1 {
+		for v := sd; v > 1; v >>= 1 {
 			logSd++
 		}
 		bits += p.cfg.Sets * logSd

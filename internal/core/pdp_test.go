@@ -164,11 +164,11 @@ func TestPDPSDStepping(t *testing.T) {
 
 func TestPDPStepsClamp(t *testing.T) {
 	p := New(Config{Sets: 1, Ways: 4, StaticPD: 256, NC: 8})
-	if got := p.steps(256); got != 255 {
-		t.Fatalf("steps(256) = %d, want clamp to 255 (8-bit RPD)", got)
+	if got := p.Protection().Steps(256); got != 255 {
+		t.Fatalf("Steps(256) = %d, want clamp to 255 (8-bit RPD)", got)
 	}
-	if got := p.steps(0); got != 1 {
-		t.Fatalf("steps(0) = %d, want 1", got)
+	if got := p.Protection().Steps(0); got != 1 {
+		t.Fatalf("Steps(0) = %d, want 1", got)
 	}
 }
 
@@ -448,5 +448,42 @@ func TestPDPRecomputeObserver(t *testing.T) {
 	}
 	if len(evs) != 4 {
 		t.Fatalf("detached observer still called: %d events", len(evs))
+	}
+}
+
+func TestPDPEpochDecayReconvergesAfterPhaseChange(t *testing.T) {
+	// Satellite regression for the long-running-service path: with the
+	// epoch-decay recompute (EpochDecayShift > 0) the RDD is an
+	// exponentially weighted window, so a workload phase change must move
+	// the PD to the new loop distance within a few epochs instead of being
+	// pinned by stale history.
+	const sets, ways = 32, 16
+	const per1, per2 = 24, 96
+	cfg := Config{
+		Sets: sets, Ways: ways,
+		SC:              4,
+		RecomputeEvery:  20000,
+		FullSampler:     true,
+		EpochDecayShift: 1,
+	}
+	c, p := newCacheWithPDP(cfg, true)
+	g1 := trace.NewLoopGen("phase1", per1*sets, 1, 1)
+	for i := 0; i < 200000; i++ {
+		c.Access(g1.Next())
+	}
+	if p.PD() < per1 || p.PD() > per1+2*cfg.SC {
+		t.Fatalf("phase 1 PD = %d, want ~%d", p.PD(), per1)
+	}
+	rec1 := p.Recomputes
+
+	g2 := trace.NewLoopGen("phase2", per2*sets, 1, 1)
+	for i := 0; i < 400000; i++ {
+		c.Access(g2.Next())
+	}
+	if p.Recomputes <= rec1 {
+		t.Fatal("no recomputation happened in phase 2")
+	}
+	if p.PD() < per2 || p.PD() > per2+3*cfg.SC {
+		t.Fatalf("phase 2 PD = %d, want re-convergence to ~%d", p.PD(), per2)
 	}
 }

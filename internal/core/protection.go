@@ -1,0 +1,155 @@
+package core
+
+import "fmt"
+
+// Protection is the per-line protecting-distance bookkeeping of the PDP
+// policy (paper Sec. 2.2/3) factored out of the trace-driven policy so the
+// serving layer (internal/kvcache) can reuse it verbatim: n_c-bit remaining
+// protecting distances stepped by S_d, a reuse bit per line, and the
+// paper's victim-selection rules. Unlike cache.Cache, it accepts any
+// positive geometry — the set count need not be a power of two — and it is
+// agnostic to what a "line" holds (fixed 64-byte blocks in the simulator,
+// byte-sized values in the KV cache).
+//
+// Protection is not goroutine-safe; callers serialize access (the
+// simulator is single-goroutine, kvcache holds its shard lock).
+type Protection struct {
+	sets, ways int
+	sd         int // distance step S_d (accesses per RPD decrement)
+	rpdMax     uint16
+
+	rpd    []uint16 // remaining PD per line, in S_d steps
+	reused []bool   // reuse bit (inclusive victim selection)
+	sdCnt  []uint32 // per-set access counter for the S_d stepping
+}
+
+// NewProtection builds the bookkeeping for sets x ways lines with maximum
+// protecting distance dmax quantized to nc bits per line.
+func NewProtection(sets, ways, dmax, nc int) *Protection {
+	if sets <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("core: invalid protection geometry %dx%d", sets, ways))
+	}
+	if dmax < 1 || nc < 1 || nc > 16 {
+		panic(fmt.Sprintf("core: invalid protection dmax=%d nc=%d", dmax, nc))
+	}
+	sd := dmax >> uint(nc)
+	if sd < 1 {
+		sd = 1
+	}
+	return &Protection{
+		sets:   sets,
+		ways:   ways,
+		sd:     sd,
+		rpdMax: uint16(1<<uint(nc)) - 1,
+		rpd:    make([]uint16, sets*ways),
+		reused: make([]bool, sets*ways),
+		sdCnt:  make([]uint32, sets),
+	}
+}
+
+// SD returns the distance step S_d.
+func (t *Protection) SD() int { return t.sd }
+
+// Steps converts a protecting distance in accesses to RPD steps, clamped
+// to the n_c-bit range.
+func (t *Protection) Steps(pd int) uint16 {
+	s := (pd + t.sd - 1) / t.sd
+	if s < 1 {
+		s = 1
+	}
+	if s > int(t.rpdMax) {
+		s = int(t.rpdMax)
+	}
+	return uint16(s)
+}
+
+// RPD returns the remaining protecting distance of (set, way) in accesses
+// (step-quantized).
+func (t *Protection) RPD(set, way int) int { return int(t.rpd[set*t.ways+way]) * t.sd }
+
+// Protected reports whether the line in (set, way) is currently protected.
+func (t *Protection) Protected(set, way int) bool { return t.rpd[set*t.ways+way] > 0 }
+
+// Reused reports the line's reuse bit.
+func (t *Protection) Reused(set, way int) bool { return t.reused[set*t.ways+way] }
+
+// Promote handles a hit: the line's RPD is reset to pd and its reuse bit
+// set.
+func (t *Protection) Promote(set, way, pd int) {
+	i := set*t.ways + way
+	t.rpd[i] = t.Steps(pd)
+	t.reused[i] = true
+}
+
+// Insert handles a fill: the line starts protected for pd accesses with
+// the reuse bit clear.
+func (t *Protection) Insert(set, way, pd int) {
+	i := set*t.ways + way
+	t.rpd[i] = t.Steps(pd)
+	t.reused[i] = false
+}
+
+// Clear handles an eviction or invalidation of (set, way).
+func (t *Protection) Clear(set, way int) {
+	i := set*t.ways + way
+	t.rpd[i] = 0
+	t.reused[i] = false
+}
+
+// Tick advances set's S_d-stepped access counter, decrementing every
+// resident RPD once per S_d accesses (bypasses count, paper Sec. 3). Call
+// it exactly once per access to the set.
+func (t *Protection) Tick(set int) {
+	t.sdCnt[set]++
+	if t.sdCnt[set] < uint32(t.sd) {
+		return
+	}
+	t.sdCnt[set] = 0
+	base := set * t.ways
+	for w := 0; w < t.ways; w++ {
+		if t.rpd[base+w] > 0 {
+			t.rpd[base+w]--
+		}
+	}
+}
+
+// Unprotected returns the lowest-indexed way whose RPD reached zero, or
+// ok=false when every line in the set is still protected.
+func (t *Protection) Unprotected(set int) (way int, ok bool) {
+	base := set * t.ways
+	for w := 0; w < t.ways; w++ {
+		if t.rpd[base+w] == 0 {
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// InclusiveVictim applies the paper's inclusive fallback when every line
+// is protected: prefer the inserted (never reused) line with the highest
+// RPD, else the reused line with the highest RPD — protecting older lines
+// (paper Sec. 2.2). Ties go to the highest way, matching the trace-driven
+// policy's historical scan order.
+func (t *Protection) InclusiveVictim(set int) int {
+	base := set * t.ways
+	best, bestRPD := -1, uint16(0)
+	for w := 0; w < t.ways; w++ {
+		if !t.reused[base+w] && t.rpd[base+w] >= bestRPD {
+			best, bestRPD = w, t.rpd[base+w]
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	best, bestRPD = 0, t.rpd[base]
+	for w := 1; w < t.ways; w++ {
+		if t.rpd[base+w] >= bestRPD {
+			best, bestRPD = w, t.rpd[base+w]
+		}
+	}
+	return best
+}
+
+// MaxRPD returns the largest representable remaining protecting distance
+// in accesses — the [0, MaxRPD] bound every line provably stays within.
+func (t *Protection) MaxRPD() int { return int(t.rpdMax) * t.sd }

@@ -1,0 +1,399 @@
+// Package kvcache is the serving-layer cache of the repository: a sharded,
+// concurrency-safe in-memory key-value store whose eviction is driven by
+// the PDP paper's protecting-distance machinery running *online*. Each
+// shard maps keys into a set-associative bucket array with per-line RPD
+// bookkeeping (core.Protection), feeds an RD sampler with its set-access
+// stream, and the cache periodically recomputes the protecting distance
+// from the merged reuse-distance distribution with the paper's E(d_p)
+// model (core.FindPD) — so the admission/eviction policy adapts to the
+// live workload exactly as the simulated policy adapts to a trace. An LRU
+// mode with the identical bucket layout serves as the serving baseline.
+//
+// Unlike the simulator's cache.Cache, set counts need not be powers of two
+// and values are byte slices of arbitrary size counted against a per-shard
+// byte budget.
+package kvcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pdp/internal/core"
+	"pdp/internal/sampler"
+	"pdp/internal/telemetry"
+)
+
+// Policy selects the eviction policy of a Cache.
+type Policy string
+
+// Supported policies.
+const (
+	// PolicyPDP protects lines for the dynamically recomputed protecting
+	// distance; unprotected-first victim selection, admission deny when a
+	// set is fully protected (unless AdmitAll).
+	PolicyPDP Policy = "pdp"
+	// PolicyLRU evicts the least recently used line of the set and always
+	// admits — the serving baseline.
+	PolicyLRU Policy = "lru"
+)
+
+// Config parameterizes a Cache.
+type Config struct {
+	// Policy is PolicyPDP (default) or PolicyLRU.
+	Policy Policy
+	// Shards is the number of independently locked shards (default 16).
+	Shards int
+	// Sets and Ways give each shard's bucket geometry (defaults 64x8).
+	// Sets need not be a power of two.
+	Sets, Ways int
+	// MaxBytes bounds the value bytes per shard (0 = unbounded). When a
+	// fill would exceed it, unprotected victims are evicted from the
+	// incoming key's set first; if the budget still cannot be met the fill
+	// is denied.
+	MaxBytes int64
+
+	// DMax, NC, SC, DE are the PDP hardware parameters (paper Sec. 3);
+	// defaults 256, 8, 4, Ways.
+	DMax, NC, SC, DE int
+	// DefaultPD seeds the policy before the first recomputation (default
+	// Ways, LRU-like warm-up).
+	DefaultPD int
+	// RecomputeEvery recomputes the PD inline after that many cache
+	// accesses (default 64K; 0 disables the count trigger — use the
+	// Adapter's wall-clock trigger instead).
+	RecomputeEvery uint64
+	// EpochDecayShift right-shifts the merged RDD counters at each
+	// recompute (default 1, exponential forgetting; see
+	// sampler.CounterArray.Decay).
+	EpochDecayShift uint
+	// MinSamples is the least measured-reuse mass (sum of the merged RDD's
+	// N_i counters) a recomputation needs before it moves the PD (default
+	// 64). The
+	// sampler's 16-bit partial tags occasionally collide, so a handful of
+	// "reuses" in an otherwise reuse-free stream is noise, not evidence.
+	MinSamples uint64
+	// AdmitAll disables admission deny: when a set is fully protected the
+	// inclusive victim rules evict instead (the PDP-NB analogue).
+	AdmitAll bool
+	// Solver computes the PD from the merged counter array; nil means
+	// core.SoftwareSolver.
+	Solver core.PDSolver
+
+	// Registry and Journal attach telemetry (both optional): operation
+	// counters and PD/occupancy gauges in the registry, one
+	// telemetry.RecomputeRecord per PD recomputation in the journal.
+	Registry *telemetry.Registry
+	Journal  *telemetry.Journal
+}
+
+func (c *Config) setDefaults() error {
+	if c.Policy == "" {
+		c.Policy = PolicyPDP
+	}
+	if c.Policy != PolicyPDP && c.Policy != PolicyLRU {
+		return fmt.Errorf("kvcache: unknown policy %q", c.Policy)
+	}
+	if c.Shards == 0 {
+		c.Shards = 16
+	}
+	if c.Sets == 0 {
+		c.Sets = 64
+	}
+	if c.Ways == 0 {
+		c.Ways = 8
+	}
+	if c.Shards < 0 || c.Sets < 0 || c.Ways < 0 || c.MaxBytes < 0 {
+		return fmt.Errorf("kvcache: negative geometry %d/%d/%d/%d", c.Shards, c.Sets, c.Ways, c.MaxBytes)
+	}
+	if c.DMax == 0 {
+		c.DMax = 256
+	}
+	if c.NC == 0 {
+		c.NC = 8
+	}
+	if c.SC == 0 {
+		c.SC = 4
+	}
+	if c.DE == 0 {
+		c.DE = c.Ways
+	}
+	if c.DefaultPD == 0 {
+		c.DefaultPD = c.Ways
+	}
+	if c.RecomputeEvery == 0 {
+		c.RecomputeEvery = 64 * 1024
+	}
+	if c.EpochDecayShift == 0 {
+		c.EpochDecayShift = 1
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 64
+	}
+	if c.Solver == nil {
+		c.Solver = core.SoftwareSolver{}
+	}
+	if c.DMax < 1 || c.DMax%c.SC != 0 {
+		return fmt.Errorf("kvcache: DMax=%d not a positive multiple of SC=%d", c.DMax, c.SC)
+	}
+	if c.NC < 1 || c.NC > 16 {
+		return fmt.Errorf("kvcache: NC=%d out of range", c.NC)
+	}
+	return nil
+}
+
+// Stats is a point-in-time aggregate over all shards. Counter fields are
+// cumulative since construction.
+type Stats struct {
+	Gets    uint64 `json:"gets"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Puts    uint64 `json:"puts"`
+	Deletes uint64 `json:"deletes"`
+	// Inserts counts fills (Put of an absent key that was admitted).
+	Inserts   uint64 `json:"inserts"`
+	Evictions uint64 `json:"evictions"`
+	// Denies counts fills refused by admission control (fully protected
+	// set, or byte budget not coverable by unprotected victims).
+	Denies uint64 `json:"denies"`
+	// Entries and Bytes describe current occupancy.
+	Entries    int    `json:"entries"`
+	Bytes      int64  `json:"bytes"`
+	PD         int    `json:"pd"`
+	Recomputes uint64 `json:"recomputes"`
+	// SamplerAccesses/Hits are cumulative RD-sampler activity (PDP only).
+	SamplerAccesses uint64 `json:"sampler_accesses,omitempty"`
+	SamplerHits     uint64 `json:"sampler_hits,omitempty"`
+}
+
+// HitRate returns Hits/Gets (0 when idle).
+func (s Stats) HitRate() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Gets)
+}
+
+// Cache is the sharded key-value cache. All methods are goroutine-safe.
+type Cache struct {
+	cfg    Config
+	shards []*shard
+
+	pd   atomic.Int64 // current protecting distance (accesses)
+	accs atomic.Uint64
+
+	// recompute serialization + cross-epoch sampler stats accumulation.
+	rmu        sync.Mutex
+	recomputes atomic.Uint64
+	seq        uint64
+	smpAccs    uint64 // sampler accesses from closed epochs
+	smpHits    uint64
+
+	// telemetry handles (nil-tolerant).
+	mGets, mHits, mMisses, mPuts, mDeletes *telemetry.Counter
+	mInserts, mEvictions, mDenies          *telemetry.Counter
+	gPD, gEntries, gBytes, gHitRate        *telemetry.Gauge
+}
+
+// New builds a Cache; it returns an error on invalid configuration (the
+// serving layer validates flags, it does not panic).
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	c := &Cache{cfg: cfg}
+	c.pd.Store(int64(cfg.DefaultPD))
+	c.shards = make([]*shard, cfg.Shards)
+	for i := range c.shards {
+		c.shards[i] = newShard(&cfg)
+	}
+	reg := cfg.Registry
+	c.mGets = reg.Counter("kv.gets")
+	c.mHits = reg.Counter("kv.hits")
+	c.mMisses = reg.Counter("kv.misses")
+	c.mPuts = reg.Counter("kv.puts")
+	c.mDeletes = reg.Counter("kv.deletes")
+	c.mInserts = reg.Counter("kv.inserts")
+	c.mEvictions = reg.Counter("kv.evictions")
+	c.mDenies = reg.Counter("kv.denies")
+	c.gPD = reg.Gauge("kv.pd")
+	c.gEntries = reg.Gauge("kv.entries")
+	c.gBytes = reg.Gauge("kv.bytes")
+	c.gHitRate = reg.Gauge("kv.hit_rate")
+	c.gPD.Set(float64(cfg.DefaultPD))
+	return c, nil
+}
+
+// Config returns the configuration with defaults applied.
+func (c *Cache) Config() Config { return c.cfg }
+
+// PD returns the current protecting distance (Ways-seeded before the
+// first recomputation; constant in LRU mode).
+func (c *Cache) PD() int { return int(c.pd.Load()) }
+
+// Accesses returns the cache-lifetime operation count.
+func (c *Cache) Accesses() uint64 { return c.accs.Load() }
+
+// Recomputes returns the number of PD recomputations performed.
+func (c *Cache) Recomputes() uint64 { return c.recomputes.Load() }
+
+// hash is FNV-1a over the key.
+func hash(key string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	return h
+}
+
+// route locates the shard and its in-shard hash for a key.
+func (c *Cache) route(key string) (*shard, uint64) {
+	h := hash(key)
+	return c.shards[h%uint64(len(c.shards))], h / uint64(len(c.shards))
+}
+
+// Get returns the value stored for key. The returned slice is shared with
+// the store and must be treated as read-only.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	sh, h := c.route(key)
+	val, ok := sh.get(h, key, c.PD())
+	c.mGets.Inc()
+	if ok {
+		c.mHits.Inc()
+	} else {
+		c.mMisses.Inc()
+	}
+	c.tick()
+	return val, ok
+}
+
+// Put stores value under key, copying it. It reports whether the value
+// was admitted (an update of a resident key always is).
+func (c *Cache) Put(key string, value []byte) bool {
+	sh, h := c.route(key)
+	res := sh.put(h, key, value, c.PD())
+	c.mPuts.Inc()
+	c.mEvictions.Add(uint64(res.evicted))
+	switch {
+	case res.denied:
+		c.mDenies.Inc()
+	case res.inserted:
+		c.mInserts.Inc()
+	}
+	c.tick()
+	return !res.denied
+}
+
+// Delete removes key, reporting whether it was resident.
+func (c *Cache) Delete(key string) bool {
+	sh, h := c.route(key)
+	ok := sh.delete(h, key)
+	c.mDeletes.Inc()
+	c.tick()
+	return ok
+}
+
+// tick advances global access time and fires the count-driven PD
+// recomputation on epoch boundaries.
+func (c *Cache) tick() {
+	n := c.accs.Add(1)
+	if c.cfg.Policy == PolicyPDP && c.cfg.RecomputeEvery > 0 && n%c.cfg.RecomputeEvery == 0 {
+		c.Recompute()
+	}
+}
+
+// Stats aggregates shard counters; it takes each shard lock briefly.
+func (c *Cache) Stats() Stats {
+	var st Stats
+	for _, sh := range c.shards {
+		sh.addStats(&st)
+	}
+	st.PD = c.PD()
+	st.Recomputes = c.recomputes.Load()
+	c.rmu.Lock()
+	st.SamplerAccesses += c.smpAccs
+	st.SamplerHits += c.smpHits
+	c.rmu.Unlock()
+	c.gEntries.Set(float64(st.Entries))
+	c.gBytes.Set(float64(st.Bytes))
+	c.gHitRate.Set(st.HitRate())
+	return st
+}
+
+// Recompute merges every shard's RDD, runs the E(d_p) search, and installs
+// the resulting protecting distance; the per-shard counter arrays are
+// epoch-decayed so the next recomputation sees an exponentially weighted
+// recent window. It reports the old and new PD and whether the RDD held
+// enough reuse to choose one (the previous PD is kept otherwise). LRU
+// caches return (0, 0, false).
+func (c *Cache) Recompute() (oldPD, newPD int, ok bool) {
+	if c.cfg.Policy != PolicyPDP {
+		return 0, 0, false
+	}
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+
+	merged := sampler.NewCounterArray(c.cfg.DMax, c.cfg.SC)
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		merged.Merge(sh.smp.Array())
+		sh.smp.Array().Decay(c.cfg.EpochDecayShift)
+		// Close the epoch's sampler stats into the cumulative totals so
+		// Stats always reports lifetime activity while the sampler's own
+		// window stays recent (satellite: long-running services must not
+		// accumulate unbounded cumulative-only counters).
+		c.smpAccs += sh.smp.Stats.Accesses
+		c.smpHits += sh.smp.Stats.Hits
+		sh.smp.ResetStats()
+		sh.mu.Unlock()
+	}
+
+	old := c.PD()
+	pd := old
+	enough := merged.Reuses() >= c.cfg.MinSamples
+	if enough {
+		if found := c.cfg.Solver.FindPD(merged, c.cfg.DE); found > 0 {
+			pd, ok = found, true
+		}
+	}
+	if pd < 1 {
+		pd = 1
+	}
+	if pd > c.cfg.DMax {
+		pd = c.cfg.DMax
+	}
+	c.pd.Store(int64(pd))
+	c.gPD.Set(float64(pd))
+	c.recomputes.Add(1)
+	c.seq++
+	if c.cfg.Journal != nil && enough {
+		c.cfg.Journal.Append(telemetry.RecomputeRecord{
+			Kind:     telemetry.KindPDRecompute,
+			Access:   c.accs.Load(),
+			Policy:   "kvcache-pdp",
+			Seq:      c.seq,
+			OldPD:    old,
+			NewPD:    pd,
+			RDD:      merged.Counts(),
+			RDDTotal: merged.Total(),
+			Frozen:   merged.Frozen(),
+			E:        core.EValues(merged, c.cfg.DE),
+		})
+	}
+	return old, pd, ok
+}
+
+// CheckInvariants verifies, under the shard locks, that every resident
+// line's remaining protecting distance lies in [0, d_max], that reuse bits
+// and byte accounting are consistent, and that no line outlived its key.
+// The race tests call it concurrently with traffic.
+func (c *Cache) CheckInvariants() error {
+	for i, sh := range c.shards {
+		if err := sh.checkInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}

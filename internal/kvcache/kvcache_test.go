@@ -1,0 +1,286 @@
+package kvcache
+
+import (
+	"fmt"
+	"testing"
+
+	"pdp/internal/telemetry"
+	"pdp/internal/workload"
+)
+
+func TestBasicOps(t *testing.T) {
+	for _, pol := range []Policy{PolicyPDP, PolicyLRU} {
+		t.Run(string(pol), func(t *testing.T) {
+			c, err := New(Config{Policy: pol, Shards: 2, Sets: 8, Ways: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := c.Get("a"); ok {
+				t.Fatal("hit on empty cache")
+			}
+			if !c.Put("a", []byte("alpha")) {
+				t.Fatal("fill into empty cache denied")
+			}
+			v, ok := c.Get("a")
+			if !ok || string(v) != "alpha" {
+				t.Fatalf("Get(a) = %q, %v", v, ok)
+			}
+			if !c.Put("a", []byte("beta")) {
+				t.Fatal("update of resident key denied")
+			}
+			if v, _ := c.Get("a"); string(v) != "beta" {
+				t.Fatalf("update lost: %q", v)
+			}
+			if !c.Delete("a") {
+				t.Fatal("delete of resident key reported miss")
+			}
+			if _, ok := c.Get("a"); ok {
+				t.Fatal("hit after delete")
+			}
+			if c.Delete("a") {
+				t.Fatal("second delete reported hit")
+			}
+			st := c.Stats()
+			if st.Gets != 4 || st.Hits != 2 || st.Puts != 2 || st.Deletes != 2 {
+				t.Fatalf("stats %+v", st)
+			}
+			if st.Entries != 0 || st.Bytes != 0 {
+				t.Fatalf("occupancy after delete: %+v", st)
+			}
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestPutCopiesValue(t *testing.T) {
+	c, _ := New(Config{Shards: 1, Sets: 4, Ways: 2})
+	buf := []byte("original")
+	c.Put("k", buf)
+	copy(buf, "CLOBBER!")
+	if v, _ := c.Get("k"); string(v) != "original" {
+		t.Fatalf("stored value aliases caller buffer: %q", v)
+	}
+}
+
+func TestByteBudgetDeniesAndEvicts(t *testing.T) {
+	// One shard, one set, 4 ways, 100-byte budget.
+	c, _ := New(Config{Shards: 1, Sets: 1, Ways: 4, MaxBytes: 100, DefaultPD: 4})
+	if !c.Put("a", make([]byte, 60)) {
+		t.Fatal("first fill denied")
+	}
+	// 60 + 60 > 100 and "a" is protected (just inserted): the fill must be
+	// denied rather than blow the budget or evict a protected line.
+	if c.Put("b", make([]byte, 60)) {
+		t.Fatal("over-budget fill admitted with only protected victims")
+	}
+	st := c.Stats()
+	if st.Denies != 1 || st.Bytes != 60 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Age "a" out of protection (DefaultPD=4 accesses), then the budget is
+	// reclaimable.
+	for i := 0; i < 8; i++ {
+		c.Get("miss" + fmt.Sprint(i))
+	}
+	if !c.Put("b", make([]byte, 60)) {
+		t.Fatal("fill denied after the victim unprotected")
+	}
+	st = c.Stats()
+	if st.Bytes != 60 || st.Entries != 1 {
+		t.Fatalf("budget not enforced: %+v", st)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonPowerOfTwoGeometry(t *testing.T) {
+	c, err := New(Config{Shards: 3, Sets: 48, Ways: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("k%d", i%700)
+		if _, ok := c.Get(k); !ok {
+			c.Put(k, []byte(k))
+		}
+	}
+	if _, _, ok := c.Recompute(); !ok {
+		t.Fatal("recompute found no reuse in a 700-key loop")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	bad := []Config{
+		{Policy: "fifo"},
+		{Shards: -1},
+		{MaxBytes: -5},
+		{DMax: 100, SC: 3},
+		{NC: 20},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// runMix drives a cache-aside client loop (Get; on miss Put) over a
+// deterministic service mix and returns the final stats.
+func runMix(c *Cache, cfg workload.ServiceConfig, seed uint64, ops int) Stats {
+	s := workload.NewServiceStream(cfg, seed)
+	for i := 0; i < ops; i++ {
+		op := s.Next()
+		key := fmt.Sprintf("k%016x", op.Key)
+		switch op.Kind {
+		case workload.OpGet:
+			if _, ok := c.Get(key); !ok {
+				c.Put(key, make([]byte, op.Size))
+			}
+		case workload.OpPut:
+			c.Put(key, make([]byte, op.Size))
+		case workload.OpDelete:
+			c.Delete(key)
+		}
+	}
+	return c.Stats()
+}
+
+func TestPDPBeatsLRUOnZipfWithScans(t *testing.T) {
+	// The serving analogue of the paper's thrash argument: a Zipf-reused
+	// hot set plus repeated scans cycling over a fixed pool whose per-set
+	// reuse distance (~44) far exceeds the associativity. LRU admits every
+	// scan key, churns the hot set, and scores zero on the cyclic pool;
+	// PDP's recomputed PD converges to the pool's distance, keeps a
+	// protected subset resident, and denies the excess. Single-goroutine
+	// and seeded, so fully deterministic.
+	mix := workload.ServiceConfig{
+		Keys: 300, ZipfS: 0.8, ValueBytes: 64,
+		ScanEvery: 200, ScanLen: 400, ScanLoop: 1600,
+	}
+	const ops = 200000
+	geo := Config{Shards: 4, Sets: 16, Ways: 8, RecomputeEvery: 8192}
+
+	lruCfg := geo
+	lruCfg.Policy = PolicyLRU
+	lru, _ := New(lruCfg)
+	pdpCfg := geo
+	pdpCfg.Policy = PolicyPDP
+	pdp, _ := New(pdpCfg)
+
+	lruSt := runMix(lru, mix, 42, ops)
+	pdpSt := runMix(pdp, mix, 42, ops)
+
+	t.Logf("PDP hit rate %.3f (PD=%d, %d recomputes, %d denies) vs LRU %.3f",
+		pdpSt.HitRate(), pdpSt.PD, pdpSt.Recomputes, pdpSt.Denies, lruSt.HitRate())
+	if pdpSt.Recomputes == 0 {
+		t.Fatal("PD was never recomputed")
+	}
+	if pdpSt.HitRate() < lruSt.HitRate()+0.08 {
+		t.Fatalf("PDP %.3f vs LRU %.3f: want a clear win on the scan mix",
+			pdpSt.HitRate(), lruSt.HitRate())
+	}
+	if pdpSt.Denies == 0 {
+		t.Fatal("admission control never engaged")
+	}
+	if pdpSt.PD < 20 || pdpSt.PD > 120 {
+		t.Fatalf("PD=%d did not converge to the cyclic pool's distance", pdpSt.PD)
+	}
+	if err := pdp.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPDAdaptsAfterPhaseChange(t *testing.T) {
+	// Acceptance: a workload phase change must move the PD, and the journal
+	// must show the move. Loop traffic at set-level distance ~K/sets, then
+	// a 4x larger loop.
+	journal := telemetry.NewJournal(0)
+	c, _ := New(Config{
+		Shards: 1, Sets: 64, Ways: 8,
+		RecomputeEvery: 8192,
+		Journal:        journal,
+	})
+	const sets = 64
+	loop := func(keys, ops int) {
+		for i := 0; i < ops; i++ {
+			k := fmt.Sprintf("k%d", i%keys)
+			if _, ok := c.Get(k); !ok {
+				c.Put(k, []byte{1})
+			}
+		}
+	}
+	loop(20*sets, 120000) // phase 1: RD ~20
+	pd1 := c.PD()
+	if pd1 < 12 || pd1 > 40 {
+		t.Fatalf("phase 1 PD = %d, want ~20", pd1)
+	}
+	loop(80*sets, 240000) // phase 2: RD ~80
+	pd2 := c.PD()
+	if pd2 < 60 {
+		t.Fatalf("phase 2 PD = %d, want re-convergence to ~80", pd2)
+	}
+	if journal.CountKind(telemetry.KindPDRecompute) == 0 {
+		t.Fatal("no pd_recompute records journaled")
+	}
+	// The journal must witness the move itself, not just the endpoints.
+	moved := false
+	for _, r := range journal.Tail(journal.Len()) {
+		if rec, ok := r.(telemetry.RecomputeRecord); ok && rec.NewPD != rec.OldPD {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("journal never recorded a PD move")
+	}
+}
+
+func TestRecomputeKeepsPDWithoutReuse(t *testing.T) {
+	c, _ := New(Config{Shards: 1, Sets: 8, Ways: 2, DefaultPD: 7})
+	// Never-reused traffic: the RDD holds no reuse, the PD must hold.
+	for i := 0; i < 5000; i++ {
+		c.Get(fmt.Sprintf("one-shot-%d", i))
+	}
+	old, pd, ok := c.Recompute()
+	if ok {
+		t.Fatalf("recompute claimed reuse: %d -> %d", old, pd)
+	}
+	if c.PD() != 7 {
+		t.Fatalf("PD drifted to %d without reuse information", c.PD())
+	}
+}
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	c, _ := New(Config{Policy: PolicyLRU, Shards: 1, Sets: 1, Ways: 2})
+	c.Put("a", []byte("a"))
+	c.Put("b", []byte("b"))
+	c.Get("a") // b is now LRU
+	c.Put("c", []byte("c"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU kept the least recently used line")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("LRU evicted the most recently used line")
+	}
+}
+
+func TestTelemetryCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c, _ := New(Config{Shards: 1, Sets: 4, Ways: 2, Registry: reg})
+	c.Put("x", []byte("1"))
+	c.Get("x")
+	c.Get("y")
+	c.Stats()
+	snap := reg.Snapshot()
+	if snap["kv.gets"].(uint64) != 2 || snap["kv.hits"].(uint64) != 1 {
+		t.Fatalf("registry snapshot %+v", snap)
+	}
+	if snap["kv.entries"].(float64) != 1 {
+		t.Fatalf("kv.entries = %v", snap["kv.entries"])
+	}
+}

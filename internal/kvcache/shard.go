@@ -1,0 +1,346 @@
+package kvcache
+
+import (
+	"fmt"
+	"sync"
+
+	"pdp/internal/core"
+	"pdp/internal/sampler"
+)
+
+// shard is one independently locked slice of the cache: a sets x ways
+// bucket array with either PDP protection bookkeeping plus an RD sampler,
+// or LRU stamps. All state below mu is guarded by it.
+type shard struct {
+	mu         sync.Mutex
+	sets, ways int
+	maxBytes   int64
+	admitAll   bool
+
+	keys  []string
+	vals  [][]byte
+	valid []bool
+
+	// PDP mode.
+	prot *core.Protection
+	smp  *sampler.RDSampler
+
+	// LRU mode.
+	stamp uint64
+	last  []uint64
+
+	bytes int64
+	st    shardStats
+}
+
+// shardStats are the per-shard counters folded into Stats.
+type shardStats struct {
+	gets, hits, puts, deletes  uint64
+	inserts, evictions, denies uint64
+	entries                    int
+}
+
+// putResult reports what one put did.
+type putResult struct {
+	inserted bool
+	denied   bool
+	evicted  int
+}
+
+func newShard(cfg *Config) *shard {
+	sh := &shard{
+		sets:     cfg.Sets,
+		ways:     cfg.Ways,
+		maxBytes: cfg.MaxBytes,
+		admitAll: cfg.AdmitAll,
+		keys:     make([]string, cfg.Sets*cfg.Ways),
+		vals:     make([][]byte, cfg.Sets*cfg.Ways),
+		valid:    make([]bool, cfg.Sets*cfg.Ways),
+	}
+	if cfg.Policy == PolicyPDP {
+		sh.prot = core.NewProtection(cfg.Sets, cfg.Ways, cfg.DMax, cfg.NC)
+		scfg := sampler.RealConfig(cfg.Sets, cfg.SC)
+		scfg.DMax = cfg.DMax
+		sh.smp = sampler.New(scfg)
+	} else {
+		sh.last = make([]uint64, cfg.Sets*cfg.Ways)
+	}
+	return sh
+}
+
+// setOf maps the in-shard hash to a set; the set count need not be a power
+// of two.
+func (sh *shard) setOf(h uint64) int { return int(h % uint64(sh.sets)) }
+
+// samplerAddr renders the in-shard hash as the line-address the RD sampler
+// hashes its 16-bit partial tags from (it discards the low 6 offset bits).
+func samplerAddr(h uint64) uint64 { return h << 6 }
+
+// observe runs the per-access PDP bookkeeping for one access to set: the
+// S_d-stepped RPD decrement and the RD-sampler update. LRU shards keep
+// their recency clock in touch/insert instead.
+func (sh *shard) observe(set int, h uint64) {
+	if sh.prot != nil {
+		sh.prot.Tick(set)
+		sh.smp.Access(set, samplerAddr(h))
+	}
+}
+
+// find scans the set for key, returning its way or -1.
+func (sh *shard) find(set int, key string) int {
+	base := set * sh.ways
+	for w := 0; w < sh.ways; w++ {
+		if sh.valid[base+w] && sh.keys[base+w] == key {
+			return w
+		}
+	}
+	return -1
+}
+
+func (sh *shard) get(h uint64, key string, pd int) ([]byte, bool) {
+	set := sh.setOf(h)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.st.gets++
+	w := sh.find(set, key)
+	if w < 0 {
+		sh.observe(set, h)
+		return nil, false
+	}
+	sh.st.hits++
+	sh.touch(set, w, pd)
+	sh.observe(set, h)
+	return sh.vals[set*sh.ways+w], true
+}
+
+// touch promotes a hit line under the active policy.
+func (sh *shard) touch(set, w, pd int) {
+	if sh.prot != nil {
+		sh.prot.Promote(set, w, pd)
+	} else {
+		sh.stamp++
+		sh.last[set*sh.ways+w] = sh.stamp
+	}
+}
+
+func (sh *shard) put(h uint64, key string, value []byte, pd int) putResult {
+	set := sh.setOf(h)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.st.puts++
+	var res putResult
+
+	if w := sh.find(set, key); w >= 0 {
+		// Update in place: resident keys are always writable.
+		i := set*sh.ways + w
+		sh.bytes += int64(len(value)) - int64(len(sh.vals[i]))
+		sh.vals[i] = append([]byte(nil), value...)
+		sh.touch(set, w, pd)
+		sh.observe(set, h)
+		return res
+	}
+
+	// From here on this is a fill (or a deny): the completion of a miss the
+	// Get already observed. It must not tick the protection clock or feed
+	// the sampler — a second observation per logical access would halve
+	// every measured reuse distance and, worse, the fill's address would
+	// match the miss's own FIFO entry at distance ~0, swamping the RDD with
+	// a spurious near-zero spike that drags the computed PD down.
+	w := sh.victimWay(set, &res)
+	if w < 0 {
+		sh.st.denies++
+		res.denied = true
+		return res
+	}
+
+	// Byte budget: evict further unprotected lines of this set while the
+	// fill would overflow; deny when the budget still cannot be met (the
+	// admission-control analogue of bypass for oversized working sets).
+	if sh.maxBytes > 0 {
+		for sh.bytes+int64(len(value)) > sh.maxBytes {
+			v := sh.budgetVictim(set, w)
+			if v < 0 {
+				sh.st.denies++
+				res.denied = true
+				return res
+			}
+			sh.evict(set, v, &res)
+		}
+	}
+
+	i := set*sh.ways + w
+	sh.keys[i] = key
+	sh.vals[i] = append([]byte(nil), value...)
+	sh.valid[i] = true
+	sh.bytes += int64(len(value))
+	sh.st.entries++
+	sh.st.inserts++
+	res.inserted = true
+	if sh.prot != nil {
+		sh.prot.Insert(set, w, pd)
+	} else {
+		sh.stamp++
+		sh.last[i] = sh.stamp
+	}
+	return res
+}
+
+// victimWay returns the way to fill, evicting its current resident if
+// needed, or -1 when admission is denied (PDP with every line protected
+// and AdmitAll off).
+func (sh *shard) victimWay(set int, res *putResult) int {
+	base := set * sh.ways
+	for w := 0; w < sh.ways; w++ {
+		if !sh.valid[base+w] {
+			return w
+		}
+	}
+	if sh.prot == nil {
+		w := sh.lruVictim(set)
+		sh.evict(set, w, res)
+		return w
+	}
+	if w, ok := sh.prot.Unprotected(set); ok {
+		sh.evict(set, w, res)
+		return w
+	}
+	if sh.admitAll {
+		w := sh.prot.InclusiveVictim(set)
+		sh.evict(set, w, res)
+		return w
+	}
+	return -1
+}
+
+// budgetVictim picks an additional victim to free bytes: any unprotected
+// valid line (PDP) or the LRU line (LRU), excluding the way already chosen
+// for the fill; -1 when none qualifies.
+func (sh *shard) budgetVictim(set, exclude int) int {
+	base := set * sh.ways
+	if sh.prot == nil {
+		best, bestStamp := -1, uint64(0)
+		for w := 0; w < sh.ways; w++ {
+			if w == exclude || !sh.valid[base+w] {
+				continue
+			}
+			if best < 0 || sh.last[base+w] < bestStamp {
+				best, bestStamp = w, sh.last[base+w]
+			}
+		}
+		return best
+	}
+	for w := 0; w < sh.ways; w++ {
+		if w != exclude && sh.valid[base+w] && !sh.prot.Protected(set, w) {
+			return w
+		}
+	}
+	return -1
+}
+
+// lruVictim returns the least recently used valid way.
+func (sh *shard) lruVictim(set int) int {
+	base := set * sh.ways
+	best, bestStamp := 0, sh.last[base]
+	for w := 1; w < sh.ways; w++ {
+		if sh.last[base+w] < bestStamp {
+			best, bestStamp = w, sh.last[base+w]
+		}
+	}
+	return best
+}
+
+// evict drops the resident line in (set, w).
+func (sh *shard) evict(set, w int, res *putResult) {
+	i := set*sh.ways + w
+	sh.bytes -= int64(len(sh.vals[i]))
+	sh.keys[i] = ""
+	sh.vals[i] = nil
+	sh.valid[i] = false
+	if sh.prot != nil {
+		sh.prot.Clear(set, w)
+	}
+	sh.st.entries--
+	sh.st.evictions++
+	res.evicted++
+}
+
+func (sh *shard) delete(h uint64, key string) bool {
+	set := sh.setOf(h)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.st.deletes++
+	w := sh.find(set, key)
+	if w >= 0 {
+		i := set*sh.ways + w
+		sh.bytes -= int64(len(sh.vals[i]))
+		sh.keys[i] = ""
+		sh.vals[i] = nil
+		sh.valid[i] = false
+		if sh.prot != nil {
+			sh.prot.Clear(set, w)
+		}
+		sh.st.entries--
+	}
+	sh.observe(set, h)
+	return w >= 0
+}
+
+func (sh *shard) addStats(st *Stats) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st.Gets += sh.st.gets
+	st.Hits += sh.st.hits
+	st.Misses += sh.st.gets - sh.st.hits
+	st.Puts += sh.st.puts
+	st.Deletes += sh.st.deletes
+	st.Inserts += sh.st.inserts
+	st.Evictions += sh.st.evictions
+	st.Denies += sh.st.denies
+	st.Entries += sh.st.entries
+	st.Bytes += sh.bytes
+	if sh.smp != nil {
+		st.SamplerAccesses += sh.smp.Stats.Accesses
+		st.SamplerHits += sh.smp.Stats.Hits
+	}
+}
+
+func (sh *shard) checkInvariants() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var entries int
+	var bytes int64
+	for set := 0; set < sh.sets; set++ {
+		for w := 0; w < sh.ways; w++ {
+			i := set*sh.ways + w
+			if sh.valid[i] {
+				entries++
+				bytes += int64(len(sh.vals[i]))
+				if sh.keys[i] == "" {
+					return fmt.Errorf("valid line (%d,%d) with empty key", set, w)
+				}
+			} else {
+				if sh.keys[i] != "" || sh.vals[i] != nil {
+					return fmt.Errorf("invalid line (%d,%d) kept key/value", set, w)
+				}
+				if sh.prot != nil && sh.prot.Protected(set, w) {
+					return fmt.Errorf("invalid line (%d,%d) still protected", set, w)
+				}
+			}
+			if sh.prot != nil {
+				if rpd := sh.prot.RPD(set, w); rpd < 0 || rpd > sh.prot.MaxRPD() {
+					return fmt.Errorf("line (%d,%d) RPD %d outside [0, %d]", set, w, rpd, sh.prot.MaxRPD())
+				}
+			}
+		}
+	}
+	if entries != sh.st.entries {
+		return fmt.Errorf("entry count drifted: counted %d, tracked %d", entries, sh.st.entries)
+	}
+	if bytes != sh.bytes {
+		return fmt.Errorf("byte accounting drifted: counted %d, tracked %d", bytes, sh.bytes)
+	}
+	if sh.maxBytes > 0 && bytes > sh.maxBytes {
+		return fmt.Errorf("bytes %d exceed budget %d", bytes, sh.maxBytes)
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+// Package kvserver exposes a kvcache.Cache over HTTP/JSON: GET/PUT/DELETE
+// on /kv/{key}, a /stats JSON endpoint, and /healthz. It is the serving
+// shell of cmd/pdpcached; the cache itself stays transport-agnostic.
+package kvserver
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"pdp/internal/kvcache"
+	"pdp/internal/telemetry"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Addr is the listen address (e.g. ":7070"; ":0" picks a free port).
+	Addr string
+	// MaxValueBytes caps one PUT body (default 1 MiB).
+	MaxValueBytes int64
+	// AdaptEvery runs a wall-clock PD recomputation at that period; 0
+	// disables the timer (the cache's count trigger still fires). Negative
+	// values are rejected.
+	AdaptEvery time.Duration
+	// SnapshotEvery emits a telemetry snapshot record at that period; 0
+	// disables. Negative values are rejected. Requires Journal.
+	SnapshotEvery time.Duration
+	// Registry and Journal receive server telemetry (both optional).
+	Registry *telemetry.Registry
+	Journal  *telemetry.Journal
+}
+
+// Server serves one kvcache.Cache over HTTP.
+type Server struct {
+	cfg     Config
+	cache   *kvcache.Cache
+	ln      net.Listener
+	httpSrv *http.Server
+	adapter *kvcache.Adapter
+
+	snapCancel context.CancelFunc
+	snapDone   chan struct{}
+	lastStats  kvcache.Stats
+
+	errCh chan error
+}
+
+// New validates cfg and binds a server to the cache. The listener is not
+// opened until Start.
+func New(cache *kvcache.Cache, cfg Config) (*Server, error) {
+	if cache == nil {
+		return nil, fmt.Errorf("kvserver: nil cache")
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = ":7070"
+	}
+	if cfg.MaxValueBytes == 0 {
+		cfg.MaxValueBytes = 1 << 20
+	}
+	if cfg.MaxValueBytes < 0 {
+		return nil, fmt.Errorf("kvserver: MaxValueBytes must be positive, got %d", cfg.MaxValueBytes)
+	}
+	if cfg.AdaptEvery < 0 {
+		return nil, fmt.Errorf("kvserver: AdaptEvery must be >= 0, got %v", cfg.AdaptEvery)
+	}
+	if cfg.SnapshotEvery < 0 {
+		return nil, fmt.Errorf("kvserver: SnapshotEvery must be >= 0, got %v", cfg.SnapshotEvery)
+	}
+	s := &Server{cfg: cfg, cache: cache, errCh: make(chan error, 1)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/kv/", s.handleKV)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	s.httpSrv = &http.Server{Handler: mux}
+	return s, nil
+}
+
+// Start opens the listener and begins serving in the background; it
+// returns once the port is bound, so Addr() is immediately valid.
+func (s *Server) Start(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("kvserver: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	go func() {
+		if err := s.httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.errCh <- err
+		}
+	}()
+	if s.cfg.AdaptEvery > 0 {
+		ad, err := kvcache.NewAdapter(s.cache, s.cfg.AdaptEvery)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		s.adapter = ad
+		ad.Start(ctx)
+	}
+	if s.cfg.SnapshotEvery > 0 {
+		snapCtx, cancel := context.WithCancel(ctx)
+		s.snapCancel = cancel
+		s.snapDone = make(chan struct{})
+		go s.snapshotLoop(snapCtx)
+	}
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Err returns a channel receiving a fatal serve error, if one occurs.
+func (s *Server) Err() <-chan error { return s.errCh }
+
+// Shutdown stops the snapshot loop, the adapter and the HTTP server
+// gracefully, then flushes the journal.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.snapCancel != nil {
+		s.snapCancel()
+		<-s.snapDone
+		s.snapCancel = nil
+	}
+	if s.adapter != nil {
+		s.adapter.Stop()
+	}
+	err := s.httpSrv.Shutdown(ctx)
+	if ferr := s.cfg.Journal.Flush(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// snapshotLoop journals one SnapshotRecord per period: the serving-layer
+// time series (hit rate, PD, occupancy) that mirrors the simulator's
+// interval snapshots.
+func (s *Server) snapshotLoop(ctx context.Context) {
+	defer close(s.snapDone)
+	t := time.NewTicker(s.cfg.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.emitSnapshot()
+		}
+	}
+}
+
+func (s *Server) emitSnapshot() {
+	st := s.cache.Stats()
+	prev := s.lastStats
+	s.lastStats = st
+	var interval float64
+	if dg := st.Gets - prev.Gets; dg > 0 {
+		interval = float64(st.Hits-prev.Hits) / float64(dg)
+	}
+	capacity := s.cache.Config().Shards * s.cache.Config().Sets * s.cache.Config().Ways
+	var validFrac float64
+	if capacity > 0 {
+		validFrac = float64(st.Entries) / float64(capacity)
+	}
+	s.cfg.Journal.Append(telemetry.SnapshotRecord{
+		Kind:            telemetry.KindSnapshot,
+		Access:          st.Gets + st.Puts + st.Deletes,
+		HitRate:         st.HitRate(),
+		IntervalHitRate: interval,
+		PD:              st.PD,
+		Accesses:        st.Gets,
+		Hits:            st.Hits,
+		Misses:          st.Misses,
+		Evictions:       st.Evictions,
+		Bypasses:        st.Denies,
+		ValidFrac:       validFrac,
+	})
+}
+
+// handleKV dispatches GET/PUT/DELETE on /kv/{key}.
+func (s *Server) handleKV(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/kv/")
+	if key == "" {
+		http.Error(w, "missing key", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		val, ok := s.cache.Get(key)
+		if !ok {
+			w.Header().Set("X-Cache", "miss")
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("X-Cache", "hit")
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(val)
+	case http.MethodPut, http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxValueBytes+1))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if int64(len(body)) > s.cfg.MaxValueBytes {
+			http.Error(w, "value too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		if !s.cache.Put(key, body) {
+			// Admission denied: the policy judged the key not worth caching
+			// right now. 204 tells the client the write was handled but not
+			// stored — cache-aside clients treat it like a successful set.
+			w.Header().Set("X-Cache", "deny")
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodDelete:
+		if s.cache.Delete(key) {
+			w.WriteHeader(http.StatusNoContent)
+		} else {
+			http.Error(w, "not found", http.StatusNotFound)
+		}
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// statsResponse is the /stats JSON schema.
+type statsResponse struct {
+	kvcache.Stats
+	Policy  string  `json:"policy"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.cache.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(statsResponse{
+		Stats:   st,
+		Policy:  string(s.cache.Config().Policy),
+		HitRate: st.HitRate(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}

@@ -1,0 +1,215 @@
+// Package loadgen replays deterministic workload.ServiceStream request
+// mixes against a kvserver over HTTP — the serving-layer analogue of the
+// simulator's trace driver. Each worker owns a stream seeded from the base
+// seed and its worker index, so a run is reproducible for any worker
+// count, and the same seeded stream can be replayed against a PDP and an
+// LRU server for an apples-to-apples hit-rate comparison.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"pdp/internal/telemetry"
+	"pdp/internal/workload"
+)
+
+// Config parameterizes a load run.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:7070".
+	BaseURL string
+	// Mix is the request mix each worker replays.
+	Mix workload.ServiceConfig
+	// Workers is the number of concurrent client goroutines (default 1).
+	Workers int
+	// Ops is the number of operations per worker (default 10000).
+	Ops int
+	// Seed is the base seed; worker w uses Seed + w.
+	Seed uint64
+	// Registry, when set, receives a loadgen.latency_us histogram.
+	Registry *telemetry.Registry
+}
+
+func (c *Config) setDefaults() error {
+	if c.BaseURL == "" {
+		return fmt.Errorf("loadgen: BaseURL required")
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.Ops == 0 {
+		c.Ops = 10000
+	}
+	if c.Workers < 0 || c.Ops < 0 {
+		return fmt.Errorf("loadgen: Workers=%d Ops=%d must be positive", c.Workers, c.Ops)
+	}
+	return c.Mix.Validate()
+}
+
+// Result aggregates one load run.
+type Result struct {
+	Ops      uint64        `json:"ops"`
+	Errors   uint64        `json:"errors"`
+	Hits     uint64        `json:"hits"`
+	Misses   uint64        `json:"misses"`
+	Denies   uint64        `json:"denies"`
+	Duration time.Duration `json:"duration_ns"`
+	// MeanLatencyUS is the mean request latency in microseconds.
+	MeanLatencyUS float64 `json:"mean_latency_us"`
+}
+
+// HitRate returns Hits/(Hits+Misses) — the client-observed GET hit rate.
+func (r Result) HitRate() float64 {
+	if r.Hits+r.Misses == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Hits+r.Misses)
+}
+
+// Throughput returns operations per second.
+func (r Result) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Duration.Seconds()
+}
+
+// Run replays the mix until every worker finishes its ops or ctx is
+// cancelled. Transport errors are counted, not fatal (the harness's
+// graceful-degradation convention).
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return Result{}, err
+	}
+	base := strings.TrimSuffix(cfg.BaseURL, "/")
+	hist := cfg.Registry.Histogram("loadgen.latency_us")
+
+	var (
+		mu  sync.Mutex
+		res Result
+	)
+	client := &http.Client{Timeout: 10 * time.Second}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stream := workload.NewServiceStream(cfg.Mix, cfg.Seed+uint64(w))
+			worker := newWorker(client, base, hist)
+			for i := 0; i < cfg.Ops; i++ {
+				if ctx.Err() != nil {
+					break
+				}
+				worker.do(stream.Next())
+			}
+			mu.Lock()
+			res.Ops += worker.ops
+			res.Errors += worker.errors
+			res.Hits += worker.hits
+			res.Misses += worker.misses
+			res.Denies += worker.denies
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	res.Duration = time.Since(start)
+	if hist != nil && hist.Count() > 0 {
+		res.MeanLatencyUS = hist.Mean()
+	}
+	return res, ctx.Err()
+}
+
+// worker is one client goroutine's state.
+type worker struct {
+	client *http.Client
+	base   string
+	hist   *telemetry.Histogram
+	buf    []byte
+
+	ops, errors, hits, misses, denies uint64
+}
+
+func newWorker(client *http.Client, base string, hist *telemetry.Histogram) *worker {
+	return &worker{client: client, base: base, hist: hist, buf: make([]byte, 1<<16)}
+}
+
+// do issues one operation cache-aside: a GET that misses is followed by a
+// PUT of the key's deterministic value.
+func (w *worker) do(op workload.Op) {
+	key := fmt.Sprintf("k%016x", op.Key)
+	switch op.Kind {
+	case workload.OpGet:
+		hit, err := w.get(key)
+		if err != nil {
+			w.errors++
+			return
+		}
+		w.ops++
+		if hit {
+			w.hits++
+		} else {
+			w.misses++
+			w.put(key, op.Size)
+		}
+	case workload.OpPut:
+		w.ops++
+		w.put(key, op.Size)
+	case workload.OpDelete:
+		w.ops++
+		req, _ := http.NewRequest(http.MethodDelete, w.base+"/kv/"+key, nil)
+		if resp, err := w.client.Do(req); err != nil {
+			w.errors++
+		} else {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+}
+
+func (w *worker) get(key string) (bool, error) {
+	t0 := time.Now()
+	resp, err := w.client.Get(w.base + "/kv/" + key)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	w.hist.Observe(uint64(time.Since(t0).Microseconds()))
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusNotFound:
+		return false, nil
+	default:
+		return false, fmt.Errorf("GET %s: %s", key, resp.Status)
+	}
+}
+
+func (w *worker) put(key string, size int) {
+	if size <= 0 {
+		size = 64
+	}
+	for size > len(w.buf) {
+		w.buf = append(w.buf, make([]byte, len(w.buf))...)
+	}
+	req, _ := http.NewRequest(http.MethodPut, w.base+"/kv/"+key, bytes.NewReader(w.buf[:size]))
+	t0 := time.Now()
+	resp, err := w.client.Do(req)
+	if err != nil {
+		w.errors++
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	w.hist.Observe(uint64(time.Since(t0).Microseconds()))
+	if resp.StatusCode == http.StatusNoContent && resp.Header.Get("X-Cache") == "deny" {
+		w.denies++
+	}
+}

@@ -1,0 +1,53 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pdp/internal/workload"
+)
+
+func TestConfigValidation(t *testing.T) {
+	mix := workload.ServiceConfig{Keys: 10}
+	bad := []Config{
+		{Mix: mix}, // no BaseURL
+		{BaseURL: "http://x", Mix: mix, Workers: -1},         // negative workers
+		{BaseURL: "http://x", Mix: mix, Ops: -1},             // negative ops
+		{BaseURL: "http://x", Mix: workload.ServiceConfig{}}, // invalid mix
+	}
+	for i, cfg := range bad {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestResultMath(t *testing.T) {
+	r := Result{Ops: 1000, Hits: 300, Misses: 200, Duration: 2 * time.Second}
+	if hr := r.HitRate(); hr != 0.6 {
+		t.Fatalf("hit rate %.3f, want 0.6", hr)
+	}
+	if tp := r.Throughput(); tp != 500 {
+		t.Fatalf("throughput %.1f, want 500", tp)
+	}
+	if (Result{}).HitRate() != 0 || (Result{}).Throughput() != 0 {
+		t.Fatal("zero-value result must not divide by zero")
+	}
+}
+
+func TestRunAgainstDeadServer(t *testing.T) {
+	// No server on the port: transport errors are counted, not fatal.
+	res, err := Run(context.Background(), Config{
+		BaseURL: "http://127.0.0.1:1",
+		Mix:     workload.ServiceConfig{Keys: 10},
+		Workers: 2,
+		Ops:     5,
+	})
+	if err != nil {
+		t.Fatalf("transport failure escalated: %v", err)
+	}
+	if res.Errors == 0 {
+		t.Fatal("no errors recorded against a dead server")
+	}
+}

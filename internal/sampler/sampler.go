@@ -67,6 +67,17 @@ func (c *CounterArray) Counts() []uint32 {
 // Total returns N_t.
 func (c *CounterArray) Total() uint64 { return c.nt }
 
+// Reuses returns the measured-reuse mass: the sum of all N_i counters.
+// Unlike N_t it excludes accesses whose distance was never measured, so it
+// is the right quantity to test for statistical evidence of reuse.
+func (c *CounterArray) Reuses() uint64 {
+	var sum uint64
+	for _, v := range c.n {
+		sum += uint64(v)
+	}
+	return sum
+}
+
 // Frozen reports whether a counter has saturated.
 func (c *CounterArray) Frozen() bool { return c.frozen }
 
@@ -117,6 +128,54 @@ func (c *CounterArray) Reset() {
 	}
 	c.nt = 0
 	c.frozen = false
+}
+
+// Decay right-shifts every counter (N_i and N_t) by the given number of
+// bits and unfreezes the array — the epoch-decay alternative to Reset for
+// long-running services: the RDD becomes an exponentially weighted window
+// over recent epochs instead of one epoch's exact histogram, so a workload
+// phase change re-converges within a few epochs while sparse epochs still
+// see enough mass to compute a PD. Decay(0) is a no-op.
+func (c *CounterArray) Decay(shift uint) {
+	if shift == 0 {
+		return
+	}
+	for i := range c.n {
+		c.n[i] >>= shift
+	}
+	c.nt >>= shift
+	c.frozen = false
+}
+
+// Merge adds src's counters into c with the same saturation semantics as
+// live recording (if any N_i reaches NiMax, or N_t reaches NtMax, the
+// merged array freezes). It panics on mismatched geometry. The serving
+// layer uses it to aggregate per-shard RDDs into one global distribution
+// before the E(d_p) search.
+func (c *CounterArray) Merge(src *CounterArray) {
+	if src == nil {
+		return
+	}
+	if src.dmax != c.dmax || src.sc != c.sc {
+		panic(fmt.Sprintf("sampler: Merge geometry mismatch: %d/%d vs %d/%d",
+			c.dmax, c.sc, src.dmax, src.sc))
+	}
+	for i := range c.n {
+		v := uint64(c.n[i]) + uint64(src.n[i])
+		if v >= uint64(c.NiMax) {
+			v = uint64(c.NiMax)
+			c.frozen = true
+		}
+		c.n[i] = uint32(v)
+	}
+	c.nt += src.nt
+	if c.nt >= c.NtMax {
+		c.nt = c.NtMax
+		c.frozen = true
+	}
+	if src.frozen {
+		c.frozen = true
+	}
 }
 
 // Bits returns the SRAM bits of the array (16-bit N_i + 32-bit N_t),
@@ -351,6 +410,13 @@ func (s *RDSampler) AccessInto(set int, addr uint64, arr *CounterArray) {
 	}
 	s.counts[slot] = t
 }
+
+// ResetStats zeroes the cumulative activity counters, starting a fresh
+// observation window. Long-running services call it at epoch boundaries so
+// Stats describes the recent window rather than the process lifetime; the
+// FIFOs and counter array are untouched (use Reset or the array's
+// Reset/Decay for those).
+func (s *RDSampler) ResetStats() { s.Stats = Stats{} }
 
 // Reset clears FIFOs, sampling counters and the counter array.
 func (s *RDSampler) Reset() {

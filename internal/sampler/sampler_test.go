@@ -314,3 +314,110 @@ func TestPartialTagReservesZeroSentinel(t *testing.T) {
 		t.Fatalf("reuse of address 0 not measured: stats = %+v", s.Stats)
 	}
 }
+
+func TestCounterArrayDecay(t *testing.T) {
+	c := NewCounterArray(16, 4)
+	for i := 0; i < 10; i++ {
+		c.RecordAccess()
+	}
+	for i := 0; i < 6; i++ {
+		c.RecordHit(3)
+	}
+	c.RecordHit(9)
+	c.Decay(1)
+	if got := c.Count(0); got != 3 {
+		t.Fatalf("Count(0) after Decay(1) = %d, want 3", got)
+	}
+	if got := c.Count(2); got != 0 {
+		t.Fatalf("Count(2) after Decay(1) = %d, want 0", got)
+	}
+	if got := c.Total(); got != 5 {
+		t.Fatalf("Total after Decay(1) = %d, want 5", got)
+	}
+	// Decay(0) is a no-op.
+	c.Decay(0)
+	if got := c.Count(0); got != 3 {
+		t.Fatalf("Count(0) after Decay(0) = %d, want 3", got)
+	}
+}
+
+func TestCounterArrayDecayUnfreezes(t *testing.T) {
+	c := NewCounterArray(16, 4)
+	c.NiMax = 8
+	for i := 0; i < 10; i++ {
+		c.RecordAccess()
+		c.RecordHit(1)
+	}
+	if !c.Frozen() {
+		t.Fatal("array should have frozen at NiMax")
+	}
+	c.Decay(1)
+	if c.Frozen() {
+		t.Fatal("Decay must unfreeze the array")
+	}
+	c.RecordAccess()
+	c.RecordHit(1)
+	if got := c.Count(0); got != 5 {
+		t.Fatalf("Count(0) after decay+hit = %d, want 5", got)
+	}
+}
+
+func TestCounterArrayMerge(t *testing.T) {
+	a := NewCounterArray(16, 4)
+	b := NewCounterArray(16, 4)
+	for i := 0; i < 4; i++ {
+		a.RecordAccess()
+		b.RecordAccess()
+	}
+	a.RecordHit(3)
+	b.RecordHit(3)
+	b.RecordHit(13)
+	a.Merge(b)
+	if got := a.Count(0); got != 2 {
+		t.Fatalf("merged Count(0) = %d, want 2", got)
+	}
+	if got := a.Count(3); got != 1 {
+		t.Fatalf("merged Count(3) = %d, want 1", got)
+	}
+	if got := a.Total(); got != 8 {
+		t.Fatalf("merged Total = %d, want 8", got)
+	}
+	if a.Frozen() {
+		t.Fatal("merge below saturation must not freeze")
+	}
+	// Merge saturates like live recording.
+	a.NiMax = 3
+	a.Merge(b)
+	if got := a.Count(0); got != 3 {
+		t.Fatalf("saturated merged Count(0) = %d, want clamp to 3", got)
+	}
+	if !a.Frozen() {
+		t.Fatal("merge reaching NiMax must freeze")
+	}
+	// Geometry mismatch is a programming error.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merge with mismatched geometry did not panic")
+		}
+	}()
+	a.Merge(NewCounterArray(32, 4))
+}
+
+func TestSamplerResetStats(t *testing.T) {
+	s := New(Config{CacheSets: 1, SampledSets: 1, FIFODepth: 4, InsertRate: 1, DMax: 16, Sc: 4})
+	s.Access(0, 64)
+	s.Access(0, 64)
+	if s.Stats.Accesses != 2 || s.Stats.Hits != 1 {
+		t.Fatalf("unexpected stats before reset: %+v", s.Stats)
+	}
+	s.ResetStats()
+	if s.Stats != (Stats{}) {
+		t.Fatalf("ResetStats left %+v", s.Stats)
+	}
+	// Measurement continues seamlessly: the FIFO kept its history, so the
+	// next reuse is still a hit.
+	s.Access(0, 64)
+	if s.Stats.Accesses != 1 || s.Stats.Hits != 1 {
+		t.Fatalf("unexpected stats after reset: %+v", s.Stats)
+	}
+}

@@ -1,0 +1,101 @@
+package workload
+
+import "testing"
+
+func TestServiceStreamDeterministic(t *testing.T) {
+	cfg := ServiceMixes()["mixed"]
+	a := NewServiceStream(cfg, 7)
+	b := NewServiceStream(cfg, 7)
+	for i := 0; i < 10000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("streams with the same seed diverged at op %d", i)
+		}
+	}
+	a.Reset()
+	first := a.Next()
+	c := NewServiceStream(cfg, 7)
+	if got := c.Next(); got != first {
+		t.Fatalf("Reset did not rewind: %+v vs %+v", got, first)
+	}
+}
+
+func TestServiceStreamZipfSkew(t *testing.T) {
+	s := NewServiceStream(ServiceConfig{Keys: 10000, ZipfS: 0.99}, 1)
+	const n = 200000
+	topHits := 0
+	for i := 0; i < n; i++ {
+		if op := s.Next(); op.Key < 100 {
+			topHits++
+		}
+	}
+	// Zipf(0.99) puts roughly half the mass on the top 1% of ranks.
+	if frac := float64(topHits) / n; frac < 0.35 {
+		t.Fatalf("top-100 keys got %.2f of accesses, want strong skew", frac)
+	}
+}
+
+func TestServiceStreamScanKeysNeverRepeat(t *testing.T) {
+	s := NewServiceStream(ServiceConfig{Keys: 100, ScanEvery: 10, ScanLen: 5}, 3)
+	seen := map[uint64]int{}
+	for i := 0; i < 5000; i++ {
+		op := s.Next()
+		if op.Key >= 1<<62 {
+			seen[op.Key]++
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no scan keys generated")
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Fatalf("scan key %#x repeated %d times", k, n)
+		}
+	}
+}
+
+func TestServiceStreamChurnRetiresKeys(t *testing.T) {
+	s := NewServiceStream(ServiceConfig{Keys: 50, ChurnEvery: 10, ChurnStep: 2}, 3)
+	for i := 0; i < 10000; i++ {
+		s.Next()
+	}
+	// After 10000 ops at one 2-key step per 10 ops the window moved ~2000
+	// keys: rank 0 now maps far beyond the initial window.
+	if op := s.Next(); op.Key < 1000 {
+		t.Fatalf("churn window did not advance: key %d", op.Key)
+	}
+}
+
+func TestServiceStreamSizesStablePerKey(t *testing.T) {
+	s := NewServiceStream(ServiceConfig{Keys: 100, ValueBytes: 256}, 9)
+	sizes := map[uint64]int{}
+	for i := 0; i < 10000; i++ {
+		op := s.Next()
+		if prev, ok := sizes[op.Key]; ok && prev != op.Size {
+			t.Fatalf("key %d size changed %d -> %d", op.Key, prev, op.Size)
+		}
+		sizes[op.Key] = op.Size
+		if op.Size < 192 || op.Size >= 320 {
+			t.Fatalf("size %d outside 256±64", op.Size)
+		}
+	}
+}
+
+func TestServiceConfigValidate(t *testing.T) {
+	bad := []ServiceConfig{
+		{Keys: 0},
+		{Keys: 10, ZipfS: -1},
+		{Keys: 10, PutFrac: 0.8, DeleteFrac: 0.3},
+		{Keys: 10, ScanEvery: 100},
+		{Keys: 10, ChurnEvery: -1},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Fatalf("config %d should fail validation: %+v", i, cfg)
+		}
+	}
+	for name, cfg := range ServiceMixes() {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("preset %q invalid: %v", name, err)
+		}
+	}
+}

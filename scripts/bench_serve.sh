@@ -1,0 +1,81 @@
+#!/bin/sh
+# Benchmark the serving layer: start pdpcached (PDP policy) on a local
+# port, replay the zipf-loop mix with pdpload at 1, 4 and 8 workers, and
+# record throughput + client-observed hit rate per worker count into
+# BENCH_serve.json. An LRU run at 4 workers on the same seeded stream is
+# recorded alongside as the baseline.
+#
+# Usage: scripts/bench_serve.sh [ops-per-worker]
+set -eu
+
+ops="${1:-20000}"
+addr="127.0.0.1:7217"
+mix_args="-mix zipf-loop -keys 300 -zipf 0.8 -scan-every 200 -scan-len 400 -scan-loop 1600 -seed 42"
+
+cd "$(dirname "$0")/.."
+go build -o /tmp/pdp-serve-bench-cached ./cmd/pdpcached
+go build -o /tmp/pdp-serve-bench-load ./cmd/pdpload
+
+run_load() {
+    # shellcheck disable=SC2086
+    /tmp/pdp-serve-bench-load -url "http://$addr" $mix_args \
+        -workers "$1" -ops "$ops" -json
+}
+
+start_server() {
+    /tmp/pdp-serve-bench-cached -addr "$addr" -policy "$1" \
+        -shards 4 -sets 16 -ways 8 -recompute-every 8192 \
+        -adapt-every 250ms 2>/dev/null &
+    server_pid=$!
+    for _ in $(seq 1 50); do
+        if curl -fs "http://$addr/healthz" >/dev/null 2>&1; then return; fi
+        sleep 0.1
+    done
+    echo "FAIL: pdpcached did not come up on $addr" >&2
+    exit 1
+}
+
+stop_server() {
+    kill "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+}
+
+field() { # field <json-file> <key>
+    sed -n "s/^.*\"$2\": *\([0-9.]*\).*$/\1/p" "$1" | head -1
+}
+
+summary() { # summary <json-file> -> "throughput hitrate"
+    ops_n=$(field "$1" ops)
+    dur_ns=$(field "$1" duration_ns)
+    hits=$(field "$1" hits)
+    misses=$(field "$1" misses)
+    awk -v o="$ops_n" -v d="$dur_ns" -v h="$hits" -v m="$misses" \
+        'BEGIN { printf "%.0f %.4f", o / (d / 1e9), (h + m > 0) ? h / (h + m) : 0 }'
+}
+
+json="{\n  \"mix\": \"zipf-loop keys=300 zipf=0.8 scan=200/400 loop=1600 seed=42\",\n  \"ops_per_worker\": $ops,\n  \"runs\": {"
+
+start_server pdp
+first=1
+for workers in 1 4 8; do
+    out="/tmp/pdp-serve-bench-w$workers.json"
+    run_load "$workers" > "$out"
+    set -- $(summary "$out")
+    echo "pdp workers=$workers: $1 ops/s, hit rate $2"
+    [ "$first" = 1 ] || json="$json,"
+    first=0
+    json="$json\n    \"pdp_workers_$workers\": {\"ops_per_s\": $1, \"hit_rate\": $2}"
+done
+stop_server
+
+start_server lru
+out="/tmp/pdp-serve-bench-lru.json"
+run_load 4 > "$out"
+set -- $(summary "$out")
+echo "lru workers=4: $1 ops/s, hit rate $2"
+json="$json,\n    \"lru_workers_4\": {\"ops_per_s\": $1, \"hit_rate\": $2}"
+stop_server
+
+json="$json\n  }\n}"
+printf "$json\n" > BENCH_serve.json
+echo "wrote BENCH_serve.json"
