@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-parallel bench-serve repro repro-parallel fuzz faultcamp serve loadtest serve-smoke clean
+.PHONY: check build vet test race bench bench-overhead bench-parallel bench-serve repro repro-parallel fuzz faultcamp serve loadtest scrape serve-smoke clean
 
 # check is the CI gate: build, vet, race-enabled tests.
 check: build vet race
@@ -42,11 +42,23 @@ serve:
 loadtest:
 	$(GO) run ./cmd/pdpload -url http://127.0.0.1:7070 -mix zipf-loop -workers 4 -ops 20000
 
-# Serving smoke: build both serving binaries and run the end-to-end
-# PDP-vs-LRU comparison (plus the kvcache shard race test) under -race.
+# Scrape and validate /metrics from a running `make serve`.
+scrape:
+	curl -fs http://127.0.0.1:7070/metrics | $(GO) run ./cmd/promlint
+	curl -fs http://127.0.0.1:7070/metrics
+
+# Serving smoke: build the serving binaries and run the end-to-end
+# PDP-vs-LRU comparison (plus the kvcache shard race test) under -race,
+# then the middleware overhead guard without it.
 serve-smoke:
-	$(GO) build ./cmd/pdpcached ./cmd/pdpload
+	$(GO) build ./cmd/pdpcached ./cmd/pdpload ./cmd/promlint
 	$(GO) test -race -count=1 ./internal/kvcache/ ./internal/kvserver/ ./internal/loadgen/
+	$(GO) test -count=1 -run TestMiddlewareOverheadBudget -v ./internal/kvserver/
+
+# Middleware overhead: the instrumented request path must stay under
+# 1us/request (asserted by TestMiddlewareOverheadBudget).
+bench-overhead:
+	$(GO) test -count=1 -run TestMiddlewareOverheadBudget -v ./internal/kvserver/
 
 # Serving throughput + hit rate at 1/4/8 workers, into BENCH_serve.json.
 bench-serve:

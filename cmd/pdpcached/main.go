@@ -10,11 +10,19 @@
 //
 // Endpoints:
 //
-//	GET    /kv/{key}   value bytes; X-Cache: hit|miss, 404 on miss
-//	PUT    /kv/{key}   store body; X-Cache: deny when admission-controlled
-//	DELETE /kv/{key}   drop the key
-//	GET    /stats      JSON counters (hit rate, PD, denies, occupancy)
-//	GET    /healthz    liveness
+//	GET    /kv/{key}         value bytes; X-Cache: hit|miss, 404 on miss
+//	PUT    /kv/{key}         store body; X-Cache: deny when admission-controlled
+//	DELETE /kv/{key}         drop the key
+//	GET    /stats            JSON counters plus per-route latency quantiles,
+//	                         per-shard stats with skew, decision counts and
+//	                         the live RDD
+//	GET    /metrics          Prometheus text exposition (latency histograms,
+//	                         per-shard decision counters, the current PD)
+//	GET    /debug/decisions  recent policy decisions (evict/deny/save ring)
+//	GET    /healthz          liveness
+//
+// Every response carries an X-Request-Id (echoed from the request when the
+// caller set one) that journal records reference on error paths.
 //
 // SIGINT/SIGTERM shuts down gracefully: in-flight requests drain, the
 // journal flushes, and the final stats line prints to stderr.

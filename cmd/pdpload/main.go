@@ -107,6 +107,8 @@ func main() {
 	fmt.Printf("hit rate     %.4f (%d hits / %d gets)\n", res.HitRate(), res.Hits, res.Hits+res.Misses)
 	fmt.Printf("throughput   %.0f ops/s\n", res.Throughput())
 	fmt.Printf("mean latency %.1f us\n", res.MeanLatencyUS)
+	fmt.Printf("latency      p50 %.1f us | p90 %.1f us | p99 %.1f us | p99.9 %.1f us\n",
+		res.P50LatencyUS, res.P90LatencyUS, res.P99LatencyUS, res.P999LatencyUS)
 	fmt.Printf("denies       %d\n", res.Denies)
 	fmt.Printf("errors       %d\n", res.Errors)
 	if err != nil {

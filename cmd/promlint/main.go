@@ -1,0 +1,47 @@
+// promlint validates Prometheus text exposition (version 0.0.4) read
+// from stdin or the files named on the command line: every sample must
+// parse, every family must declare its TYPE before its samples, and
+// histogram bucket series must be cumulative with a +Inf bucket that
+// matches _count. Exit status 0 means every input page is well-formed;
+// 1 means at least one is not (the first error per input prints to
+// stderr). CI pipes /metrics scrapes through it so a malformed
+// exposition fails the build instead of silently breaking scrapers.
+//
+//	Usage: curl -s http://127.0.0.1:7070/metrics | promlint
+//	       promlint page1.prom page2.prom
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pdp/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		if err := telemetry.LintProm(os.Stdin); err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: stdin: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+			bad = true
+			continue
+		}
+		err = telemetry.LintProm(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", path, err)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

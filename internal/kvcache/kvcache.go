@@ -76,6 +76,10 @@ type Config struct {
 	// AdmitAll disables admission deny: when a set is fully protected the
 	// inclusive victim rules evict instead (the PDP-NB analogue).
 	AdmitAll bool
+	// DecisionLog bounds the in-memory ring of attributed policy
+	// decisions served at /debug/decisions (0 = DefaultDecisionLog;
+	// negative disables the log entirely).
+	DecisionLog int
 	// Solver computes the PD from the merged counter array; nil means
 	// core.SoftwareSolver.
 	Solver core.PDSolver
@@ -153,9 +157,17 @@ type Stats struct {
 	// Inserts counts fills (Put of an absent key that was admitted).
 	Inserts   uint64 `json:"inserts"`
 	Evictions uint64 `json:"evictions"`
+	// EvictionsUnprotected/Forced split Evictions by attribution: victims
+	// whose protection had expired vs still-protected lines forced out by
+	// AdmitAll's inclusive victim selection.
+	EvictionsUnprotected uint64 `json:"evictions_unprotected"`
+	EvictionsForced      uint64 `json:"evictions_forced"`
 	// Denies counts fills refused by admission control (fully protected
 	// set, or byte budget not coverable by unprotected victims).
 	Denies uint64 `json:"denies"`
+	// Saves counts protection saves: hits on lines a same-geometry shadow
+	// LRU would already have evicted (see DecisionSave).
+	Saves uint64 `json:"protection_saves"`
 	// Entries and Bytes describe current occupancy.
 	Entries    int    `json:"entries"`
 	Bytes      int64  `json:"bytes"`
@@ -178,6 +190,7 @@ func (s Stats) HitRate() float64 {
 type Cache struct {
 	cfg    Config
 	shards []*shard
+	dlog   *DecisionLog
 
 	pd   atomic.Int64 // current protecting distance (accesses)
 	accs atomic.Uint64
@@ -203,9 +216,12 @@ func New(cfg Config) (*Cache, error) {
 	}
 	c := &Cache{cfg: cfg}
 	c.pd.Store(int64(cfg.DefaultPD))
+	if cfg.DecisionLog >= 0 {
+		c.dlog = NewDecisionLog(cfg.DecisionLog)
+	}
 	c.shards = make([]*shard, cfg.Shards)
 	for i := range c.shards {
-		c.shards[i] = newShard(&cfg)
+		c.shards[i] = newShard(&cfg, i, c.dlog)
 	}
 	reg := cfg.Registry
 	c.mGets = reg.Counter("kv.gets")
@@ -336,8 +352,10 @@ func (c *Cache) Recompute() (oldPD, newPD int, ok bool) {
 	defer c.rmu.Unlock()
 
 	merged := sampler.NewCounterArray(c.cfg.DMax, c.cfg.SC)
-	for _, sh := range c.shards {
+	shardSamples := make([]uint64, len(c.shards))
+	for i, sh := range c.shards {
 		sh.mu.Lock()
+		shardSamples[i] = sh.smp.Array().Reuses()
 		merged.Merge(sh.smp.Array())
 		sh.smp.Array().Decay(c.cfg.EpochDecayShift)
 		// Close the epoch's sampler stats into the cumulative totals so
@@ -368,21 +386,115 @@ func (c *Cache) Recompute() (oldPD, newPD int, ok bool) {
 	c.gPD.Set(float64(pd))
 	c.recomputes.Add(1)
 	c.seq++
-	if c.cfg.Journal != nil && enough {
-		c.cfg.Journal.Append(telemetry.RecomputeRecord{
-			Kind:     telemetry.KindPDRecompute,
-			Access:   c.accs.Load(),
-			Policy:   "kvcache-pdp",
-			Seq:      c.seq,
-			OldPD:    old,
-			NewPD:    pd,
-			RDD:      merged.Counts(),
-			RDDTotal: merged.Total(),
-			Frozen:   merged.Frozen(),
-			E:        core.EValues(merged, c.cfg.DE),
+	if c.cfg.Journal != nil {
+		// pd_move fires on every recompute — the attribution record an
+		// operator greps first: did the PD move, on how much evidence,
+		// and from which shards. Its E-curve summary comes from the
+		// software model, which matches the decision exactly under the
+		// default solver.
+		bestD, bestE := core.FindPD(merged, c.cfg.DE)
+		c.cfg.Journal.Append(telemetry.PDMoveRecord{
+			Kind:         telemetry.KindPDMove,
+			Access:       c.accs.Load(),
+			Seq:          c.seq,
+			OldPD:        old,
+			NewPD:        pd,
+			Moved:        ok,
+			Samples:      merged.Reuses(),
+			Total:        merged.Total(),
+			ShardSamples: shardSamples,
+			BestE:        bestE,
+			BestD:        bestD,
+			CurvePoints:  merged.K(),
 		})
+		if enough {
+			c.cfg.Journal.Append(telemetry.RecomputeRecord{
+				Kind:     telemetry.KindPDRecompute,
+				Access:   c.accs.Load(),
+				Policy:   "kvcache-pdp",
+				Seq:      c.seq,
+				OldPD:    old,
+				NewPD:    pd,
+				RDD:      merged.Counts(),
+				RDDTotal: merged.Total(),
+				Frozen:   merged.Frozen(),
+				E:        core.EValues(merged, c.cfg.DE),
+			})
+		}
 	}
 	return old, pd, ok
+}
+
+// ShardStats is one shard's attribution view: traffic, occupancy and the
+// decision counters, for the per-shard skew section of /stats.
+type ShardStats struct {
+	Shard                int    `json:"shard"`
+	Gets                 uint64 `json:"gets"`
+	Hits                 uint64 `json:"hits"`
+	Entries              int    `json:"entries"`
+	Bytes                int64  `json:"bytes"`
+	Evictions            uint64 `json:"evictions"`
+	EvictionsUnprotected uint64 `json:"evictions_unprotected"`
+	EvictionsForced      uint64 `json:"evictions_forced"`
+	Denies               uint64 `json:"denies"`
+	Saves                uint64 `json:"protection_saves"`
+}
+
+// HitRate returns Hits/Gets (0 when idle).
+func (s ShardStats) HitRate() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Gets)
+}
+
+// ShardStats returns every shard's view, indexed by shard id. Each shard
+// lock is taken briefly in turn, so the slices of different shards are
+// not one global atomic snapshot (the same contract as Stats).
+func (c *Cache) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(c.shards))
+	for i, sh := range c.shards {
+		out[i] = sh.stats()
+	}
+	return out
+}
+
+// Decisions returns the cache's decision log (nil when disabled via
+// Config.DecisionLog < 0).
+func (c *Cache) Decisions() *DecisionLog { return c.dlog }
+
+// RDDView is a point-in-time copy of the merged online reuse-distance
+// distribution — the paper's key observable, exported raw so /stats can
+// show what the next recompute will decide from.
+type RDDView struct {
+	// Counts[i] is N_i for the distance bucket ending at (i+1)*SC.
+	Counts []uint32 `json:"counts"`
+	Total  uint64   `json:"total"`
+	Reuses uint64   `json:"reuses"`
+	SC     int      `json:"sc"`
+	DMax   int      `json:"dmax"`
+}
+
+// RDDSnapshot merges every shard's current counter array without decaying
+// or otherwise disturbing them. LRU caches return a zero view (no sampler
+// runs).
+func (c *Cache) RDDSnapshot() RDDView {
+	if c.cfg.Policy != PolicyPDP {
+		return RDDView{}
+	}
+	merged := sampler.NewCounterArray(c.cfg.DMax, c.cfg.SC)
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		merged.Merge(sh.smp.Array())
+		sh.mu.Unlock()
+	}
+	return RDDView{
+		Counts: merged.Counts(),
+		Total:  merged.Total(),
+		Reuses: merged.Reuses(),
+		SC:     c.cfg.SC,
+		DMax:   c.cfg.DMax,
+	}
 }
 
 // CheckInvariants verifies, under the shard locks, that every resident

@@ -6,13 +6,23 @@ import (
 
 	"pdp/internal/core"
 	"pdp/internal/sampler"
+	"pdp/internal/telemetry"
 )
 
 // shard is one independently locked slice of the cache: a sets x ways
 // bucket array with either PDP protection bookkeeping plus an RD sampler,
 // or LRU stamps. All state below mu is guarded by it.
+//
+// PDP shards additionally run a shadow-LRU attribution layer: recency
+// stamps are maintained exactly as in LRU mode, and whenever the policy
+// diverges from LRU — it evicts or denies while a different, less
+// recently used line exists — that LRU-victim line is marked doomed. A
+// later hit on a doomed line is a "protection save": a hit the recency
+// baseline would have lost. The layer costs one bool per line and one
+// stamp write per access.
 type shard struct {
 	mu         sync.Mutex
+	id         int
 	sets, ways int
 	maxBytes   int64
 	admitAll   bool
@@ -22,21 +32,30 @@ type shard struct {
 	valid []bool
 
 	// PDP mode.
-	prot *core.Protection
-	smp  *sampler.RDSampler
+	prot   *core.Protection
+	smp    *sampler.RDSampler
+	doomed []bool
 
-	// LRU mode.
+	// Recency stamps: the LRU policy in LRU mode, the shadow baseline in
+	// PDP mode.
 	stamp uint64
 	last  []uint64
 
 	bytes int64
 	st    shardStats
+
+	// Decision attribution sinks (nil-tolerant).
+	dlog                 *DecisionLog
+	mEvUnprot, mEvForced *telemetry.Counter
+	mDenies, mSaves      *telemetry.Counter
 }
 
 // shardStats are the per-shard counters folded into Stats.
 type shardStats struct {
 	gets, hits, puts, deletes  uint64
 	inserts, evictions, denies uint64
+	evictUnprot, evictForced   uint64
+	saves                      uint64
 	entries                    int
 }
 
@@ -47,8 +66,9 @@ type putResult struct {
 	evicted  int
 }
 
-func newShard(cfg *Config) *shard {
+func newShard(cfg *Config, id int, dlog *DecisionLog) *shard {
 	sh := &shard{
+		id:       id,
 		sets:     cfg.Sets,
 		ways:     cfg.Ways,
 		maxBytes: cfg.MaxBytes,
@@ -56,15 +76,21 @@ func newShard(cfg *Config) *shard {
 		keys:     make([]string, cfg.Sets*cfg.Ways),
 		vals:     make([][]byte, cfg.Sets*cfg.Ways),
 		valid:    make([]bool, cfg.Sets*cfg.Ways),
+		last:     make([]uint64, cfg.Sets*cfg.Ways),
+		dlog:     dlog,
 	}
 	if cfg.Policy == PolicyPDP {
 		sh.prot = core.NewProtection(cfg.Sets, cfg.Ways, cfg.DMax, cfg.NC)
 		scfg := sampler.RealConfig(cfg.Sets, cfg.SC)
 		scfg.DMax = cfg.DMax
 		sh.smp = sampler.New(scfg)
-	} else {
-		sh.last = make([]uint64, cfg.Sets*cfg.Ways)
+		sh.doomed = make([]bool, cfg.Sets*cfg.Ways)
 	}
+	reg := cfg.Registry
+	sh.mEvUnprot = reg.Counter(fmt.Sprintf(`kv.shard.evictions{shard="%d",class="unprotected"}`, id))
+	sh.mEvForced = reg.Counter(fmt.Sprintf(`kv.shard.evictions{shard="%d",class="forced"}`, id))
+	sh.mDenies = reg.Counter(fmt.Sprintf(`kv.shard.denies{shard="%d"}`, id))
+	sh.mSaves = reg.Counter(fmt.Sprintf(`kv.shard.saves{shard="%d"}`, id))
 	return sh
 }
 
@@ -108,19 +134,33 @@ func (sh *shard) get(h uint64, key string, pd int) ([]byte, bool) {
 		return nil, false
 	}
 	sh.st.hits++
+	if sh.doomed != nil && sh.doomed[set*sh.ways+w] {
+		// The shadow LRU had already evicted this line; protection kept
+		// it, and that protection just converted into a hit.
+		sh.st.saves++
+		sh.mSaves.Inc()
+		sh.dlog.add(Decision{
+			Shard: sh.id, Set: set, Way: w,
+			Kind: DecisionSave, Key: key,
+			RPD: sh.prot.RPD(set, w), PD: pd,
+		})
+	}
 	sh.touch(set, w, pd)
 	sh.observe(set, h)
 	return sh.vals[set*sh.ways+w], true
 }
 
-// touch promotes a hit line under the active policy.
+// touch promotes a hit line under the active policy and refreshes its
+// shadow-LRU recency (which also retires any doomed mark: once re-touched
+// the baseline would have re-admitted the key, so the divergence window
+// closes).
 func (sh *shard) touch(set, w, pd int) {
 	if sh.prot != nil {
 		sh.prot.Promote(set, w, pd)
-	} else {
-		sh.stamp++
-		sh.last[set*sh.ways+w] = sh.stamp
+		sh.doomed[set*sh.ways+w] = false
 	}
+	sh.stamp++
+	sh.last[set*sh.ways+w] = sh.stamp
 }
 
 func (sh *shard) put(h uint64, key string, value []byte, pd int) putResult {
@@ -146,10 +186,9 @@ func (sh *shard) put(h uint64, key string, value []byte, pd int) putResult {
 	// every measured reuse distance and, worse, the fill's address would
 	// match the miss's own FIFO entry at distance ~0, swamping the RDD with
 	// a spurious near-zero spike that drags the computed PD down.
-	w := sh.victimWay(set, &res)
+	w := sh.victimWay(set, pd, &res)
 	if w < 0 {
-		sh.st.denies++
-		res.denied = true
+		sh.deny(set, key, pd, &res)
 		return res
 	}
 
@@ -160,11 +199,10 @@ func (sh *shard) put(h uint64, key string, value []byte, pd int) putResult {
 		for sh.bytes+int64(len(value)) > sh.maxBytes {
 			v := sh.budgetVictim(set, w)
 			if v < 0 {
-				sh.st.denies++
-				res.denied = true
+				sh.deny(set, key, pd, &res)
 				return res
 			}
-			sh.evict(set, v, &res)
+			sh.evict(set, v, pd, &res)
 		}
 	}
 
@@ -178,17 +216,44 @@ func (sh *shard) put(h uint64, key string, value []byte, pd int) putResult {
 	res.inserted = true
 	if sh.prot != nil {
 		sh.prot.Insert(set, w, pd)
-	} else {
-		sh.stamp++
-		sh.last[i] = sh.stamp
 	}
+	sh.stamp++
+	sh.last[i] = sh.stamp
 	return res
+}
+
+// deny books one admission refusal: counters, the decision log, and the
+// shadow-LRU mark (an LRU baseline would have evicted the set's least
+// recently used line and admitted the key, so that line is now living on
+// protection alone).
+func (sh *shard) deny(set int, key string, pd int, res *putResult) {
+	sh.st.denies++
+	sh.mDenies.Inc()
+	res.denied = true
+	sh.doomLRU(set, -1)
+	sh.dlog.add(Decision{
+		Shard: sh.id, Set: set, Way: -1,
+		Kind: DecisionDeny, Key: key, PD: pd,
+	})
+}
+
+// doomLRU marks the set's least-recently-used valid line as doomed when
+// it is not the line the policy actually targeted (actual = -1 marks it
+// unconditionally). Called only at decision points where the set is full,
+// so lruVictim never sees an invalid way.
+func (sh *shard) doomLRU(set, actual int) {
+	if sh.doomed == nil {
+		return
+	}
+	if w := sh.lruVictim(set); w != actual {
+		sh.doomed[set*sh.ways+w] = true
+	}
 }
 
 // victimWay returns the way to fill, evicting its current resident if
 // needed, or -1 when admission is denied (PDP with every line protected
 // and AdmitAll off).
-func (sh *shard) victimWay(set int, res *putResult) int {
+func (sh *shard) victimWay(set, pd int, res *putResult) int {
 	base := set * sh.ways
 	for w := 0; w < sh.ways; w++ {
 		if !sh.valid[base+w] {
@@ -197,16 +262,18 @@ func (sh *shard) victimWay(set int, res *putResult) int {
 	}
 	if sh.prot == nil {
 		w := sh.lruVictim(set)
-		sh.evict(set, w, res)
+		sh.evict(set, w, pd, res)
 		return w
 	}
 	if w, ok := sh.prot.Unprotected(set); ok {
-		sh.evict(set, w, res)
+		sh.doomLRU(set, w)
+		sh.evict(set, w, pd, res)
 		return w
 	}
 	if sh.admitAll {
 		w := sh.prot.InclusiveVictim(set)
-		sh.evict(set, w, res)
+		sh.doomLRU(set, w)
+		sh.evict(set, w, pd, res)
 		return w
 	}
 	return -1
@@ -249,15 +316,38 @@ func (sh *shard) lruVictim(set int) int {
 	return best
 }
 
-// evict drops the resident line in (set, w).
-func (sh *shard) evict(set, w int, res *putResult) {
+// evict drops the resident line in (set, w), classifying the eviction:
+// unprotected (RPD expired — the policy's intended victim class) or
+// forced (a still-protected line went because the whole set was
+// protected under AdmitAll).
+func (sh *shard) evict(set, w, pd int, res *putResult) {
 	i := set*sh.ways + w
+	kind := DecisionEvictUnprotected
+	rpd := 0
+	if sh.prot != nil {
+		if rpd = sh.prot.RPD(set, w); rpd > 0 {
+			kind = DecisionEvictForced
+		}
+	}
+	sh.dlog.add(Decision{
+		Shard: sh.id, Set: set, Way: w,
+		Kind: kind, Key: sh.keys[i], RPD: rpd, PD: pd,
+	})
+	if kind == DecisionEvictForced {
+		sh.st.evictForced++
+		sh.mEvForced.Inc()
+	} else {
+		sh.st.evictUnprot++
+		sh.mEvUnprot.Inc()
+	}
 	sh.bytes -= int64(len(sh.vals[i]))
 	sh.keys[i] = ""
 	sh.vals[i] = nil
 	sh.valid[i] = false
+	sh.last[i] = 0
 	if sh.prot != nil {
 		sh.prot.Clear(set, w)
+		sh.doomed[i] = false
 	}
 	sh.st.entries--
 	sh.st.evictions++
@@ -276,8 +366,10 @@ func (sh *shard) delete(h uint64, key string) bool {
 		sh.keys[i] = ""
 		sh.vals[i] = nil
 		sh.valid[i] = false
+		sh.last[i] = 0
 		if sh.prot != nil {
 			sh.prot.Clear(set, w)
+			sh.doomed[i] = false
 		}
 		sh.st.entries--
 	}
@@ -295,12 +387,33 @@ func (sh *shard) addStats(st *Stats) {
 	st.Deletes += sh.st.deletes
 	st.Inserts += sh.st.inserts
 	st.Evictions += sh.st.evictions
+	st.EvictionsUnprotected += sh.st.evictUnprot
+	st.EvictionsForced += sh.st.evictForced
 	st.Denies += sh.st.denies
+	st.Saves += sh.st.saves
 	st.Entries += sh.st.entries
 	st.Bytes += sh.bytes
 	if sh.smp != nil {
 		st.SamplerAccesses += sh.smp.Stats.Accesses
 		st.SamplerHits += sh.smp.Stats.Hits
+	}
+}
+
+// stats returns this shard's attribution view (under the shard lock).
+func (sh *shard) stats() ShardStats {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return ShardStats{
+		Shard:                sh.id,
+		Gets:                 sh.st.gets,
+		Hits:                 sh.st.hits,
+		Entries:              sh.st.entries,
+		Bytes:                sh.bytes,
+		Evictions:            sh.st.evictions,
+		EvictionsUnprotected: sh.st.evictUnprot,
+		EvictionsForced:      sh.st.evictForced,
+		Denies:               sh.st.denies,
+		Saves:                sh.st.saves,
 	}
 }
 
@@ -325,6 +438,9 @@ func (sh *shard) checkInvariants() error {
 				if sh.prot != nil && sh.prot.Protected(set, w) {
 					return fmt.Errorf("invalid line (%d,%d) still protected", set, w)
 				}
+				if sh.doomed != nil && sh.doomed[i] {
+					return fmt.Errorf("invalid line (%d,%d) still doomed", set, w)
+				}
 			}
 			if sh.prot != nil {
 				if rpd := sh.prot.RPD(set, w); rpd < 0 || rpd > sh.prot.MaxRPD() {
@@ -341,6 +457,10 @@ func (sh *shard) checkInvariants() error {
 	}
 	if sh.maxBytes > 0 && bytes > sh.maxBytes {
 		return fmt.Errorf("bytes %d exceed budget %d", bytes, sh.maxBytes)
+	}
+	if sh.st.evictUnprot+sh.st.evictForced != sh.st.evictions {
+		return fmt.Errorf("eviction attribution drifted: %d + %d != %d",
+			sh.st.evictUnprot, sh.st.evictForced, sh.st.evictions)
 	}
 	return nil
 }

@@ -1,6 +1,11 @@
 // Package kvserver exposes a kvcache.Cache over HTTP/JSON: GET/PUT/DELETE
-// on /kv/{key}, a /stats JSON endpoint, and /healthz. It is the serving
-// shell of cmd/pdpcached; the cache itself stays transport-agnostic.
+// on /kv/{key}, a /stats JSON endpoint (latency quantiles, per-shard
+// attribution, the live RDD), Prometheus text exposition on /metrics, the
+// policy decision ring on /debug/decisions, and /healthz. Every route
+// runs under the instrumentation middleware (per-route/method/status
+// counters, nanosecond latency histograms, X-Request-Id threading). It is
+// the serving shell of cmd/pdpcached; the cache itself stays
+// transport-agnostic.
 package kvserver
 
 import (
@@ -10,7 +15,9 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"pdp/internal/kvcache"
@@ -47,6 +54,12 @@ type Server struct {
 	snapDone   chan struct{}
 	lastStats  kvcache.Stats
 
+	// Middleware state: the instrumented routes (for /stats latency
+	// summaries) and the request-id generator.
+	routes  []*routeMetrics
+	reqSeq  atomic.Uint64
+	mErrors *telemetry.Counter
+
 	errCh chan error
 }
 
@@ -71,13 +84,33 @@ func New(cache *kvcache.Cache, cfg Config) (*Server, error) {
 	if cfg.SnapshotEvery < 0 {
 		return nil, fmt.Errorf("kvserver: SnapshotEvery must be >= 0, got %v", cfg.SnapshotEvery)
 	}
+	if cfg.Registry == nil {
+		// Default to the cache's registry so one /metrics scrape covers
+		// both the serving layer and the cache it fronts.
+		cfg.Registry = cache.Config().Registry
+	}
 	s := &Server{cfg: cfg, cache: cache, errCh: make(chan error, 1)}
+	s.mErrors = cfg.Registry.Counter("http.serve_errors")
 	mux := http.NewServeMux()
-	mux.HandleFunc("/kv/", s.handleKV)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/kv/", s.instrument("/kv/", s.handleKV))
+	mux.Handle("/stats", s.instrument("/stats", getOnly(s.handleStats)))
+	mux.Handle("/healthz", s.instrument("/healthz", getOnly(s.handleHealthz)))
+	mux.Handle("/metrics", s.instrument("/metrics", getOnly(s.handleMetrics)))
+	mux.Handle("/debug/decisions", s.instrument("/debug/decisions", getOnly(s.handleDecisions)))
 	s.httpSrv = &http.Server{Handler: mux}
 	return s, nil
+}
+
+// serveError books one serving-layer fault: the counter for alerting, the
+// journal for forensics (with the failing route and request id).
+func (s *Server) serveError(route, reqID string, err error) {
+	s.mErrors.Inc()
+	s.cfg.Journal.Append(telemetry.ServeErrorRecord{
+		Kind:      telemetry.KindServeError,
+		Route:     route,
+		RequestID: reqID,
+		Err:       err.Error(),
+	})
 }
 
 // Start opens the listener and begins serving in the background; it
@@ -90,7 +123,15 @@ func (s *Server) Start(ctx context.Context) error {
 	s.ln = ln
 	go func() {
 		if err := s.httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			s.errCh <- err
+			// Record to telemetry and journal *before* offering the error
+			// on the channel: errCh has capacity 1 and is only drained by
+			// a caller that happens to be listening, so an error racing
+			// shutdown must not depend on the channel for visibility.
+			s.serveError("", "", err)
+			select {
+			case s.errCh <- err:
+			default:
+			}
 		}
 	}()
 	if s.cfg.AdaptEvery > 0 {
@@ -233,24 +274,175 @@ func (s *Server) handleKV(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// latencyView is one route's latency digest in microseconds (the
+// histograms record nanoseconds; microseconds read better in JSON).
+type latencyView struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// shardView is kvcache.ShardStats plus its derived hit rate.
+type shardView struct {
+	kvcache.ShardStats
+	HitRate float64 `json:"hit_rate"`
+}
+
+// skewView summarizes imbalance across shards: occupancy and traffic as
+// max/mean ratios (1 = perfectly uniform), hit rate as its min/max
+// spread.
+type skewView struct {
+	OccupancySkew float64 `json:"occupancy_skew"`
+	TrafficSkew   float64 `json:"traffic_skew"`
+	HitRateMin    float64 `json:"hit_rate_min"`
+	HitRateMax    float64 `json:"hit_rate_max"`
+}
+
 // statsResponse is the /stats JSON schema.
 type statsResponse struct {
 	kvcache.Stats
 	Policy  string  `json:"policy"`
 	HitRate float64 `json:"hit_rate"`
+	// LatencyUS maps each instrumented route to its server-side request
+	// latency quantiles.
+	LatencyUS map[string]latencyView `json:"latency_us,omitempty"`
+	Shards    []shardView            `json:"shards,omitempty"`
+	ShardSkew *skewView              `json:"shard_skew,omitempty"`
+	// RDD is the live merged reuse-distance distribution (PDP only) —
+	// what the next recompute will decide from.
+	RDD *kvcache.RDDView `json:"rdd,omitempty"`
+	// Decisions counts attributed policy decisions by kind.
+	Decisions map[string]uint64 `json:"decisions,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.cache.Stats()
+	resp := statsResponse{
+		Stats:     st,
+		Policy:    string(s.cache.Config().Policy),
+		HitRate:   st.HitRate(),
+		LatencyUS: map[string]latencyView{},
+	}
+	for _, m := range s.routes {
+		h := m.latency
+		if h.Count() == 0 {
+			continue
+		}
+		q := h.Summary()
+		resp.LatencyUS[m.name] = latencyView{
+			Count: h.Count(),
+			Mean:  h.Mean() / 1e3,
+			P50:   q.P50 / 1e3,
+			P90:   q.P90 / 1e3,
+			P99:   q.P99 / 1e3,
+			P999:  q.P999 / 1e3,
+		}
+	}
+	per := s.cache.ShardStats()
+	var maxEntries, sumEntries float64
+	var maxGets, sumGets float64
+	skew := &skewView{HitRateMin: 1}
+	for _, sh := range per {
+		resp.Shards = append(resp.Shards, shardView{ShardStats: sh, HitRate: sh.HitRate()})
+		e, g := float64(sh.Entries), float64(sh.Gets)
+		sumEntries += e
+		sumGets += g
+		if e > maxEntries {
+			maxEntries = e
+		}
+		if g > maxGets {
+			maxGets = g
+		}
+		if hr := sh.HitRate(); hr < skew.HitRateMin {
+			skew.HitRateMin = hr
+		} else if hr > skew.HitRateMax {
+			skew.HitRateMax = hr
+		}
+	}
+	if n := float64(len(per)); n > 0 {
+		if sumEntries > 0 {
+			skew.OccupancySkew = maxEntries / (sumEntries / n)
+		}
+		if sumGets > 0 {
+			skew.TrafficSkew = maxGets / (sumGets / n)
+		}
+		resp.ShardSkew = skew
+	}
+	if rdd := s.cache.RDDSnapshot(); rdd.Counts != nil {
+		resp.RDD = &rdd
+	}
+	if dl := s.cache.Decisions(); dl != nil {
+		resp.Decisions = map[string]uint64{
+			kvcache.DecisionEvictUnprotected: dl.CountKind(kvcache.DecisionEvictUnprotected),
+			kvcache.DecisionEvictForced:      dl.CountKind(kvcache.DecisionEvictForced),
+			kvcache.DecisionDeny:             dl.CountKind(kvcache.DecisionDeny),
+			kvcache.DecisionSave:             dl.CountKind(kvcache.DecisionSave),
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(statsResponse{
-		Stats:   st,
-		Policy:  string(s.cache.Config().Policy),
-		HitRate: st.HitRate(),
-	})
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		s.serveError("/stats", requestID(r), err)
+	}
+}
+
+// handleMetrics serves the registry in Prometheus text format. The
+// occupancy gauges are refreshed from a stats pass first, so a scrape
+// always sees current entries/bytes/hit-rate alongside the counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.cache.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.cfg.Registry.WriteProm(w); err != nil {
+		s.serveError("/metrics", requestID(r), err)
+	}
+}
+
+// decisionsResponse is the /debug/decisions JSON schema.
+type decisionsResponse struct {
+	Total  uint64             `json:"total"`
+	Counts map[string]uint64  `json:"counts"`
+	Tail   []kvcache.Decision `json:"tail"`
+}
+
+// handleDecisions exports the policy decision ring: the most recent n
+// (default 100, capped at the ring size by the log itself) attributed
+// decisions, oldest first.
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	dl := s.cache.Decisions()
+	if dl == nil {
+		http.Error(w, "decision log disabled", http.StatusNotFound)
+		return
+	}
+	n := 100
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = parsed
+	}
+	resp := decisionsResponse{
+		Total: dl.Total(),
+		Counts: map[string]uint64{
+			kvcache.DecisionEvictUnprotected: dl.CountKind(kvcache.DecisionEvictUnprotected),
+			kvcache.DecisionEvictForced:      dl.CountKind(kvcache.DecisionEvictForced),
+			kvcache.DecisionDeny:             dl.CountKind(kvcache.DecisionDeny),
+			kvcache.DecisionSave:             dl.CountKind(kvcache.DecisionSave),
+		},
+		Tail: dl.Tail(n),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		s.serveError("/debug/decisions", requestID(r), err)
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
-	io.WriteString(w, "ok\n")
+	if _, err := io.WriteString(w, "ok\n"); err != nil {
+		s.serveError("/healthz", requestID(r), err)
+	}
 }

@@ -32,7 +32,8 @@ type Config struct {
 	Ops int
 	// Seed is the base seed; worker w uses Seed + w.
 	Seed uint64
-	// Registry, when set, receives a loadgen.latency_us histogram.
+	// Registry, when set, receives the loadgen.latency_ns histogram; the
+	// Result carries latency quantiles either way.
 	Registry *telemetry.Registry
 }
 
@@ -60,8 +61,13 @@ type Result struct {
 	Misses   uint64        `json:"misses"`
 	Denies   uint64        `json:"denies"`
 	Duration time.Duration `json:"duration_ns"`
-	// MeanLatencyUS is the mean request latency in microseconds.
+	// Client-observed request latency in microseconds: the mean plus
+	// quantiles interpolated from the log2 nanosecond histogram.
 	MeanLatencyUS float64 `json:"mean_latency_us"`
+	P50LatencyUS  float64 `json:"p50_latency_us"`
+	P90LatencyUS  float64 `json:"p90_latency_us"`
+	P99LatencyUS  float64 `json:"p99_latency_us"`
+	P999LatencyUS float64 `json:"p999_latency_us"`
 }
 
 // HitRate returns Hits/(Hits+Misses) — the client-observed GET hit rate.
@@ -88,7 +94,12 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	base := strings.TrimSuffix(cfg.BaseURL, "/")
-	hist := cfg.Registry.Histogram("loadgen.latency_us")
+	hist := cfg.Registry.Histogram("loadgen.latency_ns")
+	if hist == nil {
+		// No registry: keep a private histogram so the Result still
+		// reports quantiles.
+		hist = &telemetry.Histogram{}
+	}
 
 	var (
 		mu  sync.Mutex
@@ -120,8 +131,13 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	}
 	wg.Wait()
 	res.Duration = time.Since(start)
-	if hist != nil && hist.Count() > 0 {
-		res.MeanLatencyUS = hist.Mean()
+	if hist.Count() > 0 {
+		q := hist.Summary()
+		res.MeanLatencyUS = hist.Mean() / 1e3
+		res.P50LatencyUS = q.P50 / 1e3
+		res.P90LatencyUS = q.P90 / 1e3
+		res.P99LatencyUS = q.P99 / 1e3
+		res.P999LatencyUS = q.P999 / 1e3
 	}
 	return res, ctx.Err()
 }
@@ -181,7 +197,7 @@ func (w *worker) get(key string) (bool, error) {
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
-	w.hist.Observe(uint64(time.Since(t0).Microseconds()))
+	w.hist.Observe(uint64(time.Since(t0).Nanoseconds()))
 	switch resp.StatusCode {
 	case http.StatusOK:
 		return true, nil
@@ -208,7 +224,7 @@ func (w *worker) put(key string, size int) {
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	w.hist.Observe(uint64(time.Since(t0).Microseconds()))
+	w.hist.Observe(uint64(time.Since(t0).Nanoseconds()))
 	if resp.StatusCode == http.StatusNoContent && resp.Header.Get("X-Cache") == "deny" {
 		w.denies++
 	}

@@ -2,9 +2,12 @@ package loadgen
 
 import (
 	"context"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
+	"pdp/internal/telemetry"
 	"pdp/internal/workload"
 )
 
@@ -33,6 +36,45 @@ func TestResultMath(t *testing.T) {
 	}
 	if (Result{}).HitRate() != 0 || (Result{}).Throughput() != 0 {
 		t.Fatal("zero-value result must not divide by zero")
+	}
+}
+
+// TestLatencyQuantilesReported runs against a stub server and asserts
+// the Result carries an ordered latency digest — with and without a
+// caller-supplied registry.
+func TestLatencyQuantilesReported(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet {
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte("v"))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+
+	for _, reg := range []*telemetry.Registry{nil, telemetry.NewRegistry()} {
+		res, err := Run(context.Background(), Config{
+			BaseURL:  srv.URL,
+			Mix:      workload.ServiceConfig{Keys: 20, ValueBytes: 8},
+			Workers:  2,
+			Ops:      200,
+			Seed:     1,
+			Registry: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P50LatencyUS <= 0 {
+			t.Fatalf("registry=%v: p50 = %v", reg != nil, res.P50LatencyUS)
+		}
+		if res.P50LatencyUS > res.P90LatencyUS || res.P90LatencyUS > res.P99LatencyUS ||
+			res.P99LatencyUS > res.P999LatencyUS {
+			t.Fatalf("quantiles not monotone: %+v", res)
+		}
+		if reg != nil && reg.Histogram("loadgen.latency_ns").Count() == 0 {
+			t.Fatal("registry histogram not fed")
+		}
 	}
 }
 

@@ -24,6 +24,15 @@ const (
 	// KindSamplerEvict records an RD-sampler FIFO entry overwritten before
 	// it was ever matched (a reuse distance the sampler failed to measure).
 	KindSamplerEvict = "sampler_fifo_evict"
+	// KindPDMove records one serving-layer PD recomputation with decision
+	// attribution: it fires on *every* recompute (unlike KindPDRecompute,
+	// which carries the full RDD and only fires when the evidence gate
+	// passes) and summarizes what moved and why.
+	KindPDMove = "pd_move"
+	// KindServeError records a serving-layer fault: a response-encode
+	// failure on a stats endpoint, or a fatal HTTP Serve error that would
+	// otherwise only surface on the server's error channel.
+	KindServeError = "serve_error"
 )
 
 // Record is one journal entry. Implementations are plain JSON-marshalable
@@ -111,6 +120,50 @@ type EventRecord struct {
 
 // RecordKind implements Record.
 func (e EventRecord) RecordKind() string { return e.Kind }
+
+// PDMoveRecord is the KindPDMove schema: the attribution view of one
+// protecting-distance recomputation in the serving layer.
+type PDMoveRecord struct {
+	Kind string `json:"kind"`
+	// Access is the cache-lifetime operation count at the recompute.
+	Access uint64 `json:"access"`
+	// Seq is the 1-based recompute ordinal.
+	Seq   uint64 `json:"seq"`
+	OldPD int    `json:"old_pd"`
+	NewPD int    `json:"new_pd"`
+	// Moved reports whether the evidence gate passed and the E(d_p)
+	// search installed a fresh PD (false = the previous PD was kept).
+	Moved bool `json:"moved"`
+	// Samples is the measured-reuse mass of the merged RDD that triggered
+	// the decision; ShardSamples attributes it per shard (pre-merge, so
+	// an operator can see which shards drove the move). Total is N_t.
+	Samples      uint64   `json:"samples"`
+	Total        uint64   `json:"total"`
+	ShardSamples []uint64 `json:"shard_samples,omitempty"`
+	// BestE/BestD summarize the E(d_p) curve: its maximum and the
+	// distance attaining it, over CurvePoints evaluation boundaries.
+	BestE       float64 `json:"best_e"`
+	BestD       int     `json:"best_d"`
+	CurvePoints int     `json:"curve_points"`
+}
+
+// RecordKind implements Record.
+func (PDMoveRecord) RecordKind() string { return KindPDMove }
+
+// ServeErrorRecord is the KindServeError schema.
+type ServeErrorRecord struct {
+	Kind string `json:"kind"`
+	// Route is the HTTP route on which the error occurred ("" for
+	// transport-level serve errors).
+	Route string `json:"route,omitempty"`
+	// RequestID is the X-Request-Id of the failing request, when one was
+	// in flight.
+	RequestID string `json:"request_id,omitempty"`
+	Err       string `json:"err"`
+}
+
+// RecordKind implements Record.
+func (ServeErrorRecord) RecordKind() string { return KindServeError }
 
 // Journal is a bounded ring buffer of records with an optional JSONL sink.
 // The ring keeps the most recent records for in-process inspection

@@ -1,9 +1,11 @@
 #!/bin/sh
 # Benchmark the serving layer: start pdpcached (PDP policy) on a local
 # port, replay the zipf-loop mix with pdpload at 1, 4 and 8 workers, and
-# record throughput + client-observed hit rate per worker count into
-# BENCH_serve.json. An LRU run at 4 workers on the same seeded stream is
-# recorded alongside as the baseline.
+# record throughput, client-observed hit rate and client latency
+# quantiles (p50/p90/p99) per worker count into BENCH_serve.json. An LRU
+# run at 4 workers on the same seeded stream is recorded alongside as the
+# baseline. While the servers are up, /metrics is scraped and validated
+# with promlint, so a malformed exposition fails the benchmark.
 #
 # Usage: scripts/bench_serve.sh [ops-per-worker]
 set -eu
@@ -15,6 +17,7 @@ mix_args="-mix zipf-loop -keys 300 -zipf 0.8 -scan-every 200 -scan-len 400 -scan
 cd "$(dirname "$0")/.."
 go build -o /tmp/pdp-serve-bench-cached ./cmd/pdpcached
 go build -o /tmp/pdp-serve-bench-load ./cmd/pdpload
+go build -o /tmp/pdp-serve-bench-promlint ./cmd/promlint
 
 run_load() {
     # shellcheck disable=SC2086
@@ -40,40 +43,67 @@ stop_server() {
     wait "$server_pid" 2>/dev/null || true
 }
 
+check_metrics() { # check_metrics <tag> — scrape /metrics, lint, spot-check
+    page="/tmp/pdp-serve-bench-$1.prom"
+    curl -fs "http://$addr/metrics" > "$page"
+    /tmp/pdp-serve-bench-promlint "$page"
+    for want in http_latency_ns_bucket kv_gets; do
+        if ! grep -q "$want" "$page"; then
+            echo "FAIL: /metrics ($1) missing $want" >&2
+            exit 1
+        fi
+    done
+}
+
 field() { # field <json-file> <key>
     sed -n "s/^.*\"$2\": *\([0-9.]*\).*$/\1/p" "$1" | head -1
 }
 
-summary() { # summary <json-file> -> "throughput hitrate"
+summary() { # summary <json-file> -> "throughput hitrate p50 p90 p99"
     ops_n=$(field "$1" ops)
     dur_ns=$(field "$1" duration_ns)
     hits=$(field "$1" hits)
     misses=$(field "$1" misses)
+    p50=$(field "$1" p50_latency_us)
+    p90=$(field "$1" p90_latency_us)
+    p99=$(field "$1" p99_latency_us)
     awk -v o="$ops_n" -v d="$dur_ns" -v h="$hits" -v m="$misses" \
-        'BEGIN { printf "%.0f %.4f", o / (d / 1e9), (h + m > 0) ? h / (h + m) : 0 }'
+        -v p50="$p50" -v p90="$p90" -v p99="$p99" \
+        'BEGIN { printf "%.0f %.4f %.1f %.1f %.1f", \
+            o / (d / 1e9), (h + m > 0) ? h / (h + m) : 0, p50, p90, p99 }'
+}
+
+record() { # record <name> <json-file> — append one run object
+    set -- "$1" $(summary "$2")
+    [ "$first" = 1 ] || json="$json,"
+    first=0
+    json="$json\n    \"$1\": {\"ops_per_s\": $2, \"hit_rate\": $3, \"p50_latency_us\": $4, \"p90_latency_us\": $5, \"p99_latency_us\": $6}"
+    echo "$1: $2 ops/s, hit rate $3, p50/p90/p99 $4/$5/$6 us"
 }
 
 json="{\n  \"mix\": \"zipf-loop keys=300 zipf=0.8 scan=200/400 loop=1600 seed=42\",\n  \"ops_per_worker\": $ops,\n  \"runs\": {"
+first=1
 
 start_server pdp
-first=1
 for workers in 1 4 8; do
     out="/tmp/pdp-serve-bench-w$workers.json"
     run_load "$workers" > "$out"
-    set -- $(summary "$out")
-    echo "pdp workers=$workers: $1 ops/s, hit rate $2"
-    [ "$first" = 1 ] || json="$json,"
-    first=0
-    json="$json\n    \"pdp_workers_$workers\": {\"ops_per_s\": $1, \"hit_rate\": $2}"
+    record "pdp_workers_$workers" "$out"
+done
+check_metrics pdp
+for want in kv_pd kv_shard_evictions; do
+    if ! grep -q "$want" /tmp/pdp-serve-bench-pdp.prom; then
+        echo "FAIL: pdp /metrics missing $want" >&2
+        exit 1
+    fi
 done
 stop_server
 
 start_server lru
 out="/tmp/pdp-serve-bench-lru.json"
 run_load 4 > "$out"
-set -- $(summary "$out")
-echo "lru workers=4: $1 ops/s, hit rate $2"
-json="$json,\n    \"lru_workers_4\": {\"ops_per_s\": $1, \"hit_rate\": $2}"
+record "lru_workers_4" "$out"
+check_metrics lru
 stop_server
 
 json="$json\n  }\n}"
