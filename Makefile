@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-overhead bench-parallel bench-serve repro repro-parallel fuzz faultcamp serve loadtest scrape serve-smoke clean
+.PHONY: check build vet test race bench bench-overhead bench-parallel bench-serve repro repro-parallel fuzz faultcamp serve loadtest scrape serve-smoke chaos clean
 
 # check is the CI gate: build, vet, race-enabled tests.
 check: build vet race
@@ -68,6 +68,13 @@ bench-serve:
 fuzz:
 	$(GO) test ./internal/tracefile/ -run FuzzReader -fuzz FuzzReader -fuzztime 20s
 	$(GO) test ./internal/resilience/ -run FuzzDecodeCheckpoint -fuzz FuzzDecodeCheckpoint -fuzztime 20s
+
+# Serving-path chaos smoke: the race-enabled chaos campaign tests, then a
+# live pdpcached under seeded fault injection (recompute panics, counter
+# flips, latency spikes) that must stay >= 99% available, expose the
+# robustness metrics, and warm-restart from its crash-safe snapshot.
+chaos:
+	./scripts/chaos_smoke.sh
 
 # Short fault campaign: clean vs injected run + graceful-degradation checks.
 faultcamp:

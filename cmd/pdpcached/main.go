@@ -19,10 +19,19 @@
 //	GET    /metrics          Prometheus text exposition (latency histograms,
 //	                         per-shard decision counters, the current PD)
 //	GET    /debug/decisions  recent policy decisions (evict/deny/save ring)
-//	GET    /healthz          liveness
+//	GET    /healthz          liveness (200 even while degraded)
+//	GET    /readyz           readiness (503 while any shard serves degraded)
 //
 // Every response carries an X-Request-Id (echoed from the request when the
 // caller set one) that journal records reference on error paths.
+//
+// Robustness: -max-inflight bounds concurrent /kv/ requests (excess load
+// is shed with 503 + Retry-After or waits under the request's X-Deadline),
+// a per-shard breaker degrades PDP to shadow-LRU on recompute panics,
+// stalls or corrupted evidence (re-arming after -rearm-after clean
+// recomputes), -snapshot persists the warm cache state periodically and
+// at shutdown, -resume warm-starts from it, and -inject drives seeded
+// serving-path chaos (see internal/faultinject's grammar).
 //
 // SIGINT/SIGTERM shuts down gracefully: in-flight requests drain, the
 // journal flushes, and the final stats line prints to stderr.
@@ -31,14 +40,18 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"time"
 
+	"pdp/internal/faultinject"
 	"pdp/internal/kvcache"
 	"pdp/internal/kvserver"
 	"pdp/internal/resilience"
+	"pdp/internal/servefault"
 	"pdp/internal/telemetry"
 )
 
@@ -68,6 +81,16 @@ func main() {
 	maxValue := flag.Int64("max-value-bytes", 1<<20, "largest accepted PUT body")
 	telemetryOut := flag.String("telemetry", "", "write a JSONL telemetry journal to this file")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address")
+	maxInflight := flag.Int("max-inflight", 0, "bound concurrent /kv/ requests; excess is shed with 503 (0 = ungated)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
+	defaultDeadline := flag.Duration("default-deadline", 0, "deadline applied to /kv/ requests without an X-Deadline header (0 = none)")
+	rearmAfter := flag.Int("rearm-after", 3, "clean recomputes before a degraded shard re-arms to PDP")
+	recomputeTimeout := flag.Duration("recompute-timeout", 2*time.Second, "PD-recompute stall watchdog; a slower recompute trips every shard to LRU (0 = off)")
+	lockHoldWarn := flag.Duration("lock-hold-warn", 250*time.Millisecond, "journal shard locks held longer than this (0 = off)")
+	snapshotPath := flag.String("snapshot", "", "persist the warm cache state to this file periodically and at shutdown")
+	snapshotStateEvery := flag.Duration("snapshot-state-every", 30*time.Second, "cache-state snapshot period (needs -snapshot)")
+	resume := flag.Bool("resume", false, "warm-start from the -snapshot file when present (geometry mismatch cold-starts with a warning)")
+	inject := flag.String("inject", "", "seeded serving-path fault injection, e.g. recompute.panic=0.2,latency.spike=1e-3,seed=7")
 	flag.Parse()
 
 	// Interval flags: zero or negative periods are configuration errors,
@@ -81,6 +104,16 @@ func main() {
 	}
 	if *recomputeEvery < 1 {
 		fail(2, "-recompute-every must be >= 1 access")
+	}
+	if *snapshotStateEvery <= 0 {
+		fail(2, "-snapshot-state-every must be a positive duration, got %v", *snapshotStateEvery)
+	}
+	if *resume && *snapshotPath == "" {
+		fail(2, "-resume needs -snapshot")
+	}
+	spec, err := faultinject.Parse(*inject)
+	if err != nil {
+		fail(2, "%v", err)
 	}
 
 	reg := telemetry.NewRegistry()
@@ -100,35 +133,61 @@ func main() {
 		}
 	}
 
-	cache, err := kvcache.New(kvcache.Config{
-		Policy:          kvcache.Policy(*policy),
-		Shards:          *shards,
-		Sets:            *sets,
-		Ways:            *ways,
-		MaxBytes:        *maxBytes,
-		DMax:            *dmax,
-		NC:              *nc,
-		SC:              *sc,
-		DE:              *de,
-		DefaultPD:       *defaultPD,
-		RecomputeEvery:  *recomputeEvery,
-		EpochDecayShift: *decayShift,
-		MinSamples:      *minSamples,
-		AdmitAll:        *admitAll,
-		Registry:        reg,
-		Journal:         journal,
-	})
+	ccfg := kvcache.Config{
+		Policy:           kvcache.Policy(*policy),
+		Shards:           *shards,
+		Sets:             *sets,
+		Ways:             *ways,
+		MaxBytes:         *maxBytes,
+		DMax:             *dmax,
+		NC:               *nc,
+		SC:               *sc,
+		DE:               *de,
+		DefaultPD:        *defaultPD,
+		RecomputeEvery:   *recomputeEvery,
+		EpochDecayShift:  *decayShift,
+		MinSamples:       *minSamples,
+		AdmitAll:         *admitAll,
+		RearmAfter:       *rearmAfter,
+		RecomputeTimeout: *recomputeTimeout,
+		LockHoldWarn:     *lockHoldWarn,
+		Registry:         reg,
+		Journal:          journal,
+	}
+	if inj := servefault.NewInjector(spec, *shards, faultinject.NewReporter(journal)); inj != nil {
+		ccfg.Chaos = inj
+		fmt.Fprintf(os.Stderr, "pdpcached: chaos injection active: %s\n", spec)
+	}
+	cache, err := kvcache.New(ccfg)
 	if err != nil {
 		fail(2, "%v", err)
 	}
+	if *resume {
+		switch n, rerr := servefault.RestoreFromFile(cache, *snapshotPath); {
+		case rerr == nil:
+			fmt.Fprintf(os.Stderr, "pdpcached: resumed %d entries from %s (pd=%d)\n",
+				n, *snapshotPath, cache.PD())
+		case errors.Is(rerr, fs.ErrNotExist):
+			fmt.Fprintf(os.Stderr, "pdpcached: no snapshot at %s, cold start\n", *snapshotPath)
+		default:
+			// A corrupt or mismatched snapshot is a warning, never fatal:
+			// serving cold beats not serving.
+			fmt.Fprintf(os.Stderr, "pdpcached: resume failed (%v), cold start\n", rerr)
+		}
+	}
 
 	srv, err := kvserver.New(cache, kvserver.Config{
-		Addr:          *addr,
-		MaxValueBytes: *maxValue,
-		AdaptEvery:    *adaptEvery,
-		SnapshotEvery: *snapshotEvery,
-		Registry:      reg,
-		Journal:       journal,
+		Addr:            *addr,
+		MaxValueBytes:   *maxValue,
+		AdaptEvery:      *adaptEvery,
+		SnapshotEvery:   *snapshotEvery,
+		MaxInflight:     *maxInflight,
+		RetryAfter:      *retryAfter,
+		DefaultDeadline: *defaultDeadline,
+		StatePath:       *snapshotPath,
+		StateEvery:      *snapshotStateEvery,
+		Registry:        reg,
+		Journal:         journal,
 	})
 	if err != nil {
 		fail(2, "%v", err)

@@ -43,6 +43,8 @@ func main() {
 	scanEvery := flag.Int("scan-every", -1, "override: ops between scan bursts")
 	scanLen := flag.Int("scan-len", -1, "override: keys per scan burst")
 	scanLoop := flag.Int("scan-loop", -1, "override: cyclic scan pool size (0 = never-reused scans)")
+	retries := flag.Int("retries", 2, "retry shed (503) and transport-failed requests this many times (capped backoff + jitter)")
+	deadline := flag.Duration("deadline", 0, "per-request budget, sent as X-Deadline and enforced client-side (0 = none)")
 	jsonOut := flag.Bool("json", false, "print the result as JSON")
 	flag.Parse()
 
@@ -92,6 +94,8 @@ func main() {
 		Workers:  *workers,
 		Ops:      *ops,
 		Seed:     *seed,
+		Retries:  *retries,
+		Deadline: *deadline,
 		Registry: telemetry.NewRegistry(),
 	})
 	if err != nil && res.Ops == 0 {
@@ -110,6 +114,12 @@ func main() {
 	fmt.Printf("latency      p50 %.1f us | p90 %.1f us | p99 %.1f us | p99.9 %.1f us\n",
 		res.P50LatencyUS, res.P90LatencyUS, res.P99LatencyUS, res.P999LatencyUS)
 	fmt.Printf("denies       %d\n", res.Denies)
+	fmt.Printf("availability %.4f\n", res.Availability())
+	fmt.Printf("sheds        %d\n", res.Sheds)
+	fmt.Printf("timeouts     %d\n", res.Timeouts)
+	fmt.Printf("transport    %d\n", res.Transport)
+	fmt.Printf("server-5xx   %d\n", res.Server5xx)
+	fmt.Printf("retries      %d\n", res.Retries)
 	fmt.Printf("errors       %d\n", res.Errors)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pdpload: interrupted: %v\n", err)

@@ -31,6 +31,17 @@ import (
 //	counter.flip=<p>     per access: flip one random bit of a random N_i
 //	rdd.zero=<p>         per access: zero the RDD counter array mid-window
 //	pd.bias=<k>          perturb each recomputed PD by a uniform +/-k
+//	recompute.panic=<p>  per PD recomputation: panic inside the recompute
+//	                     critical section (serving path; the breaker must
+//	                     absorb it and degrade to LRU)
+//	recompute.stall=<p>  per PD recomputation: stall the critical section
+//	                     for stall.ms, tripping the recompute watchdog
+//	stall.ms=<n>         recompute stall duration in milliseconds (default
+//	                     100)
+//	latency.spike=<p>    per cache access: sleep spike.ms while holding the
+//	                     shard lock (the lock-hold watchdog's prey)
+//	spike.ms=<n>         shard-latency spike duration in milliseconds
+//	                     (default 5)
 //	until=<n>            stop injecting after n injector-clock ticks
 //	                     (records for trace faults, accesses for policy
 //	                     faults; 0 = whole run) — makes PD re-convergence
@@ -55,6 +66,16 @@ type Spec struct {
 	// PDBias, when positive, perturbs every recomputed PD by a uniform
 	// value in [-PDBias, +PDBias] (clamped by core to [1, d_max]).
 	PDBias int
+	// RecomputePanic and RecomputeStall are per-recomputation probabilities
+	// of panicking inside, or stalling, the PD recompute critical section
+	// (serving path); StallMS is the stall duration in milliseconds
+	// (default 100 when a stall is configured).
+	RecomputePanic, RecomputeStall float64
+	StallMS                        int
+	// LatencySpike is the per-access probability of sleeping SpikeMS
+	// milliseconds while holding a cache shard lock (default 5ms).
+	LatencySpike float64
+	SpikeMS      int
 	// Until, when positive, deactivates every injector after Until ticks
 	// of its own clock (records for the trace wrapper, monitored accesses
 	// for the PDP injector); faults then stop and the system can be
@@ -82,6 +103,14 @@ func (s Spec) PolicyEnabled() bool {
 	return s.CounterFlip > 0 || s.RDDZero > 0 || s.PDBias > 0
 }
 
+// ServeEnabled reports whether any serving-path fault is configured: the
+// kvcache chaos injector fires on these plus the sampler faults (which
+// apply to the online RDD exactly as to the simulated one).
+func (s Spec) ServeEnabled() bool {
+	return s.RecomputePanic > 0 || s.RecomputeStall > 0 || s.LatencySpike > 0 ||
+		s.CounterFlip > 0 || s.RDDZero > 0
+}
+
 // String renders the spec in the -inject grammar (stable item order).
 func (s Spec) String() string {
 	var items []string
@@ -100,6 +129,15 @@ func (s Spec) String() string {
 	add("rdd.zero", s.RDDZero)
 	if s.PDBias > 0 {
 		items = append(items, fmt.Sprintf("pd.bias=%d", s.PDBias))
+	}
+	add("recompute.panic", s.RecomputePanic)
+	add("recompute.stall", s.RecomputeStall)
+	if s.StallMS > 0 {
+		items = append(items, fmt.Sprintf("stall.ms=%d", s.StallMS))
+	}
+	add("latency.spike", s.LatencySpike)
+	if s.SpikeMS > 0 {
+		items = append(items, fmt.Sprintf("spike.ms=%d", s.SpikeMS))
 	}
 	if s.Until > 0 {
 		items = append(items, fmt.Sprintf("until=%d", s.Until))
@@ -166,13 +204,35 @@ func Parse(text string) (Spec, error) {
 			} else {
 				s.PDBias = k
 			}
+		case "recompute.panic":
+			err = prob(&s.RecomputePanic)
+		case "recompute.stall":
+			err = prob(&s.RecomputeStall)
+		case "stall.ms":
+			var n int
+			n, err = strconv.Atoi(val)
+			if err != nil || n < 0 {
+				err = fmt.Errorf("faultinject: stall.ms=%q is not a non-negative int", val)
+			} else {
+				s.StallMS = n
+			}
+		case "latency.spike":
+			err = prob(&s.LatencySpike)
+		case "spike.ms":
+			var n int
+			n, err = strconv.Atoi(val)
+			if err != nil || n < 0 {
+				err = fmt.Errorf("faultinject: spike.ms=%q is not a non-negative int", val)
+			} else {
+				s.SpikeMS = n
+			}
 		case "until":
 			s.Until, err = strconv.ParseUint(val, 10, 64)
 			if err != nil {
 				err = fmt.Errorf("faultinject: until=%q is not a uint", val)
 			}
 		default:
-			return Spec{}, fmt.Errorf("faultinject: unknown key %q (keys: seed, trace.corrupt, trace.dup, trace.drop, trace.fail, counter.flip, rdd.zero, pd.bias, until)", key)
+			return Spec{}, fmt.Errorf("faultinject: unknown key %q (keys: seed, trace.corrupt, trace.dup, trace.drop, trace.fail, counter.flip, rdd.zero, pd.bias, recompute.panic, recompute.stall, stall.ms, latency.spike, spike.ms, until)", key)
 		}
 		if err != nil {
 			return Spec{}, err

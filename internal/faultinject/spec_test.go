@@ -61,3 +61,50 @@ func TestUntilGating(t *testing.T) {
 		t.Fatal("Until=0 should never deactivate")
 	}
 }
+
+func TestParseServeKeys(t *testing.T) {
+	in := "recompute.panic=0.25,recompute.stall=0.5,stall.ms=50,latency.spike=0.001,spike.ms=2,until=4000,seed=9"
+	s, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{
+		RecomputePanic: 0.25, RecomputeStall: 0.5, StallMS: 50,
+		LatencySpike: 0.001, SpikeMS: 2, Until: 4000, Seed: 9,
+	}
+	if s != want {
+		t.Fatalf("Parse(%q) = %+v, want %+v", in, s, want)
+	}
+	if !s.ServeEnabled() {
+		t.Fatal("serve faults configured but ServeEnabled is false")
+	}
+	if s.TraceEnabled() || s.PolicyEnabled() {
+		t.Fatal("serve-only spec claims trace/policy faults")
+	}
+	// String renders back into the grammar; Parse(String) round-trips.
+	back, err := Parse(s.String())
+	if err != nil {
+		t.Fatalf("Parse(String()) = %v", err)
+	}
+	if back != s {
+		t.Fatalf("round trip %+v != %+v", back, s)
+	}
+	// counter.flip is a sampler fault that also fires on the serving path.
+	if s, _ := Parse("counter.flip=0.1"); !s.ServeEnabled() {
+		t.Fatal("counter.flip alone should enable serving-path injection")
+	}
+}
+
+func TestParseServeErrors(t *testing.T) {
+	for _, in := range []string{
+		"recompute.panic=2",  // probability out of range
+		"recompute.stall=-1", // negative probability
+		"stall.ms=-5",        // negative duration
+		"spike.ms=abc",       // not an int
+		"latency.spike=1.5",  // probability out of range
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", in)
+		}
+	}
+}

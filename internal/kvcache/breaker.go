@@ -1,0 +1,227 @@
+package kvcache
+
+import (
+	"fmt"
+	"time"
+
+	"pdp/internal/telemetry"
+)
+
+// Chaos is the serving-path fault-injection seam. A non-nil Config.Chaos
+// is invoked at the two places the PDP machinery is exposed to the live
+// request stream, so seeded injectors (internal/servefault) can corrupt
+// RDD counters, stall or panic recomputations, and spike shard latency —
+// reproducibly, for chaos campaigns.
+//
+// Access is called once per cache operation while the shard lock is held
+// (calls for one shard are therefore serialized; calls for different
+// shards are concurrent). arr is the shard's live RDD counter array, nil
+// in LRU mode. Recompute is called inside the recompute critical section
+// (recomputes are serialized) and may panic or sleep; the supervised
+// recompute path must absorb both.
+type Chaos interface {
+	Access(shard int, arr ChaosArray)
+	Recompute(seq uint64)
+}
+
+// ChaosArray is the slice of the sampler counter-array API a chaos
+// injector may touch (defined here so injectors need no sampler import
+// and the cache controls the blast radius).
+type ChaosArray interface {
+	K() int
+	Corrupt(k int, mask uint32)
+	Reset()
+}
+
+// The breaker: every shard carries a degraded flag; while degraded it
+// serves with shadow-LRU eviction and unconditional admission — the
+// baseline policy whose recency stamps PDP mode maintains anyway — and
+// ignores the protecting distance entirely. Trips are driven by the
+// supervised recompute (panic, stall past RecomputeTimeout, PD outside
+// [1, d_max], inconsistent RDD evidence, per-shard sampler corruption);
+// re-arming happens after Config.RearmAfter consecutive clean
+// recomputes, which keep running while degraded as the healing probe.
+
+// DegradedShards returns the number of shards currently serving in
+// degraded (shadow-LRU) mode.
+func (c *Cache) DegradedShards() int { return int(c.degCount.Load()) }
+
+// Degraded reports whether any shard is serving degraded.
+func (c *Cache) Degraded() bool { return c.degCount.Load() > 0 }
+
+// BreakerTrips and BreakerRearms return the cumulative per-shard
+// transition counts.
+func (c *Cache) BreakerTrips() uint64  { return c.trips.Load() }
+func (c *Cache) BreakerRearms() uint64 { return c.rearms.Load() }
+
+// Trip forces every shard into degraded LRU mode (the operator's manual
+// breaker, also the path every global recompute failure takes).
+func (c *Cache) Trip(reason string) {
+	c.bmu.Lock()
+	defer c.bmu.Unlock()
+	c.tripAllLocked(reason)
+}
+
+// tripAllLocked trips every shard; the caller holds bmu.
+func (c *Cache) tripAllLocked(reason string) {
+	for i := range c.shards {
+		c.tripShardLocked(i, reason)
+	}
+}
+
+// tripShardLocked trips one shard (idempotent); the caller holds bmu.
+func (c *Cache) tripShardLocked(i int, reason string) {
+	c.streaks[i] = 0
+	sh := c.shards[i]
+	sh.mu.Lock()
+	already := sh.deg
+	if !already {
+		sh.deg = true
+		// The shadow-LRU divergence history predates the trip; while
+		// degraded the served policy IS the shadow, so stale doomed marks
+		// would book phantom protection saves after re-arm.
+		for j := range sh.doomed {
+			sh.doomed[j] = false
+		}
+	}
+	sh.mu.Unlock()
+	if already {
+		return
+	}
+	c.degCount.Add(1)
+	c.trips.Add(1)
+	c.mTrips.Inc()
+	c.gDegraded.Set(float64(c.degCount.Load()))
+	if c.cfg.Journal != nil {
+		c.cfg.Journal.Append(telemetry.BreakerRecord{
+			Kind: telemetry.KindBreaker, Shard: i, State: "tripped", Reason: reason,
+		})
+	}
+}
+
+// rearmShardLocked re-arms one degraded shard; the caller holds bmu.
+func (c *Cache) rearmShardLocked(i int, streak int) {
+	sh := c.shards[i]
+	sh.mu.Lock()
+	was := sh.deg
+	sh.deg = false
+	sh.mu.Unlock()
+	if !was {
+		return
+	}
+	c.degCount.Add(-1)
+	c.rearms.Add(1)
+	c.mRearms.Inc()
+	c.gDegraded.Set(float64(c.degCount.Load()))
+	if c.cfg.Journal != nil {
+		c.cfg.Journal.Append(telemetry.BreakerRecord{
+			Kind: telemetry.KindBreaker, Shard: i, State: "rearmed",
+			Reason: "clean_recomputes", Streak: streak,
+		})
+	}
+}
+
+// recomputeOutcome is what one supervised recomputation reports upward.
+type recomputeOutcome struct {
+	old, pd int
+	moved   bool
+	// violation names a global invariant breach ("" when none): the whole
+	// cache trips on it.
+	violation string
+	// corrupt lists shards whose sampler evidence was internally
+	// inconsistent this round (their arrays were reset; they trip alone).
+	corrupt []int
+}
+
+// superviseRecompute runs one recomputation under panic recovery and the
+// optional RecomputeTimeout watchdog, then applies the breaker
+// bookkeeping: trips on failure, clean-streak advancement and re-arms on
+// success.
+func (c *Cache) superviseRecompute() recomputeOutcome {
+	type result struct {
+		out recomputeOutcome
+		err error
+	}
+	run := func() (res result) {
+		defer func() {
+			if r := recover(); r != nil {
+				res.err = fmt.Errorf("recompute panic: %v", r)
+			}
+		}()
+		res.out = c.recomputeLocked()
+		return
+	}
+
+	var res result
+	timedOut := false
+	if c.cfg.RecomputeTimeout <= 0 {
+		res = run()
+	} else {
+		ch := make(chan result, 1)
+		go func() { ch <- run() }()
+		t := time.NewTimer(c.cfg.RecomputeTimeout)
+		select {
+		case res = <-ch:
+			t.Stop()
+		case <-t.C:
+			// The stalled goroutine still owns rmu and will finish (and
+			// release it) on its own; its eventual PD install is harmless
+			// because every shard is about to serve LRU until the breaker
+			// re-arms on later clean rounds.
+			timedOut = true
+		}
+	}
+
+	old := c.PD()
+	c.bmu.Lock()
+	defer c.bmu.Unlock()
+	switch {
+	case timedOut:
+		if c.cfg.Journal != nil {
+			c.cfg.Journal.Append(telemetry.RecoveryRecord{
+				Kind: telemetry.KindRecovery, Name: "kvcache.recompute", Cause: "stall",
+				Detail: fmt.Sprintf("recompute exceeded %v", c.cfg.RecomputeTimeout),
+			})
+		}
+		c.tripAllLocked("recompute_stall")
+		return recomputeOutcome{old: old, pd: old}
+	case res.err != nil:
+		if c.cfg.Journal != nil {
+			c.cfg.Journal.Append(telemetry.RecoveryRecord{
+				Kind: telemetry.KindRecovery, Name: "kvcache.recompute", Cause: "panic",
+				Detail: res.err.Error(),
+			})
+		}
+		c.tripAllLocked("recompute_panic")
+		return recomputeOutcome{old: old, pd: old}
+	case res.out.violation != "":
+		c.tripAllLocked(res.out.violation)
+		return res.out
+	}
+	for _, i := range res.out.corrupt {
+		c.tripShardLocked(i, "sampler_corrupt")
+	}
+	// A clean round: degraded shards whose evidence was clean advance
+	// their streak and re-arm at the threshold.
+	corrupt := map[int]bool{}
+	for _, i := range res.out.corrupt {
+		corrupt[i] = true
+	}
+	for i, sh := range c.shards {
+		if corrupt[i] {
+			continue
+		}
+		sh.mu.Lock()
+		deg := sh.deg
+		sh.mu.Unlock()
+		if !deg {
+			continue
+		}
+		c.streaks[i]++
+		if c.streaks[i] >= c.cfg.RearmAfter {
+			c.rearmShardLocked(i, c.streaks[i])
+			c.streaks[i] = 0
+		}
+	}
+	return res.out
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pdp/internal/core"
 	"pdp/internal/sampler"
@@ -84,6 +85,23 @@ type Config struct {
 	// core.SoftwareSolver.
 	Solver core.PDSolver
 
+	// RearmAfter is the number of consecutive clean recomputations a
+	// degraded shard needs before its breaker re-arms from shadow-LRU
+	// fallback back to PDP (default 3).
+	RearmAfter int
+	// RecomputeTimeout bounds one PD recomputation's wall-clock time; a
+	// recompute that stalls past it trips every shard into degraded mode
+	// (0 disables the watchdog and runs recomputes inline).
+	RecomputeTimeout time.Duration
+	// LockHoldWarn is the shard-lock hold-time watchdog threshold: any
+	// cache operation holding a shard lock longer than this is counted
+	// and journaled (0 disables the watchdog).
+	LockHoldWarn time.Duration
+	// Chaos, when non-nil, receives the serving-path fault-injection
+	// callbacks (see the Chaos interface). Production configs leave it
+	// nil; chaos campaigns install a seeded servefault.Injector.
+	Chaos Chaos
+
 	// Registry and Journal attach telemetry (both optional): operation
 	// counters and PD/occupancy gauges in the registry, one
 	// telemetry.RecomputeRecord per PD recomputation in the journal.
@@ -137,6 +155,18 @@ func (c *Config) setDefaults() error {
 	if c.Solver == nil {
 		c.Solver = core.SoftwareSolver{}
 	}
+	if c.RearmAfter == 0 {
+		c.RearmAfter = 3
+	}
+	if c.RearmAfter < 0 {
+		return fmt.Errorf("kvcache: RearmAfter must be positive, got %d", c.RearmAfter)
+	}
+	if c.RecomputeTimeout < 0 {
+		return fmt.Errorf("kvcache: RecomputeTimeout must be >= 0, got %v", c.RecomputeTimeout)
+	}
+	if c.LockHoldWarn < 0 {
+		return fmt.Errorf("kvcache: LockHoldWarn must be >= 0, got %v", c.LockHoldWarn)
+	}
 	if c.DMax < 1 || c.DMax%c.SC != 0 {
 		return fmt.Errorf("kvcache: DMax=%d not a positive multiple of SC=%d", c.DMax, c.SC)
 	}
@@ -176,6 +206,16 @@ type Stats struct {
 	// SamplerAccesses/Hits are cumulative RD-sampler activity (PDP only).
 	SamplerAccesses uint64 `json:"sampler_accesses,omitempty"`
 	SamplerHits     uint64 `json:"sampler_hits,omitempty"`
+	// DegradedShards is the number of shards currently serving in
+	// shadow-LRU fallback; DegradedOps counts operations served while
+	// degraded. BreakerTrips/Rearms are cumulative transition counts.
+	DegradedShards int    `json:"degraded_shards"`
+	DegradedOps    uint64 `json:"degraded_ops,omitempty"`
+	BreakerTrips   uint64 `json:"breaker_trips,omitempty"`
+	BreakerRearms  uint64 `json:"breaker_rearms,omitempty"`
+	// LockHoldWarns counts cache operations that held a shard lock past
+	// the configured watchdog threshold.
+	LockHoldWarns uint64 `json:"lock_hold_warns,omitempty"`
 }
 
 // HitRate returns Hits/Gets (0 when idle).
@@ -202,10 +242,21 @@ type Cache struct {
 	smpAccs    uint64 // sampler accesses from closed epochs
 	smpHits    uint64
 
+	// breaker state: bmu serializes trip/re-arm transitions and guards the
+	// per-shard clean-recompute streaks; degCount mirrors the number of
+	// degraded shards for lock-free reads on /healthz and /stats.
+	bmu      sync.Mutex
+	streaks  []int
+	degCount atomic.Int64
+	trips    atomic.Uint64
+	rearms   atomic.Uint64
+
 	// telemetry handles (nil-tolerant).
 	mGets, mHits, mMisses, mPuts, mDeletes *telemetry.Counter
 	mInserts, mEvictions, mDenies          *telemetry.Counter
+	mTrips, mRearms, mLockWarns            *telemetry.Counter
 	gPD, gEntries, gBytes, gHitRate        *telemetry.Gauge
+	gDegraded                              *telemetry.Gauge
 }
 
 // New builds a Cache; it returns an error on invalid configuration (the
@@ -219,11 +270,13 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.DecisionLog >= 0 {
 		c.dlog = NewDecisionLog(cfg.DecisionLog)
 	}
+	c.streaks = make([]int, cfg.Shards)
+	reg := cfg.Registry
+	c.mLockWarns = reg.Counter("kv.lock_hold_warns")
 	c.shards = make([]*shard, cfg.Shards)
 	for i := range c.shards {
-		c.shards[i] = newShard(&cfg, i, c.dlog)
+		c.shards[i] = newShard(&cfg, i, c.dlog, c.mLockWarns)
 	}
-	reg := cfg.Registry
 	c.mGets = reg.Counter("kv.gets")
 	c.mHits = reg.Counter("kv.hits")
 	c.mMisses = reg.Counter("kv.misses")
@@ -232,6 +285,9 @@ func New(cfg Config) (*Cache, error) {
 	c.mInserts = reg.Counter("kv.inserts")
 	c.mEvictions = reg.Counter("kv.evictions")
 	c.mDenies = reg.Counter("kv.denies")
+	c.mTrips = reg.Counter("kv.breaker_trips")
+	c.mRearms = reg.Counter("kv.breaker_rearms")
+	c.gDegraded = reg.Gauge("kv.degraded_shards")
 	c.gPD = reg.Gauge("kv.pd")
 	c.gEntries = reg.Gauge("kv.entries")
 	c.gBytes = reg.Gauge("kv.bytes")
@@ -328,6 +384,9 @@ func (c *Cache) Stats() Stats {
 	}
 	st.PD = c.PD()
 	st.Recomputes = c.recomputes.Load()
+	st.DegradedShards = c.DegradedShards()
+	st.BreakerTrips = c.trips.Load()
+	st.BreakerRearms = c.rearms.Load()
 	c.rmu.Lock()
 	st.SamplerAccesses += c.smpAccs
 	st.SamplerHits += c.smpHits
@@ -338,30 +397,60 @@ func (c *Cache) Stats() Stats {
 	return st
 }
 
-// Recompute merges every shard's RDD, runs the E(d_p) search, and installs
-// the resulting protecting distance; the per-shard counter arrays are
-// epoch-decayed so the next recomputation sees an exponentially weighted
-// recent window. It reports the old and new PD and whether the RDD held
-// enough reuse to choose one (the previous PD is kept otherwise). LRU
-// caches return (0, 0, false).
+// Recompute runs one supervised PD recomputation: the merge + E(d_p)
+// search under panic recovery, the optional stall watchdog
+// (Config.RecomputeTimeout), and invariant validation (PD in [1, d_max],
+// internally consistent RDD evidence). A failed recomputation never
+// propagates — it trips the degraded-mode breaker and keeps the previous
+// PD — and each clean one advances degraded shards toward re-arming. It
+// reports the old and new PD and whether the RDD held enough reuse to
+// choose one (the previous PD is kept otherwise). LRU caches return
+// (0, 0, false).
 func (c *Cache) Recompute() (oldPD, newPD int, ok bool) {
 	if c.cfg.Policy != PolicyPDP {
 		return 0, 0, false
 	}
+	out := c.superviseRecompute()
+	return out.old, out.pd, out.moved
+}
+
+// recomputeLocked is the recompute body: merge every shard's RDD, run the
+// E(d_p) search, install the resulting PD, and epoch-decay the per-shard
+// counter arrays so the next recomputation sees an exponentially weighted
+// recent window. It reports invariant violations and corrupt shards
+// upward instead of acting on them; superviseRecompute owns the breaker.
+func (c *Cache) recomputeLocked() recomputeOutcome {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
 
+	if c.cfg.Chaos != nil {
+		// The chaos hook may stall (tripping the watchdog in
+		// superviseRecompute) or panic (unwinding through the deferred
+		// unlock into the recovery there).
+		c.cfg.Chaos.Recompute(c.recomputes.Load() + 1)
+	}
+
+	var out recomputeOutcome
 	merged := sampler.NewCounterArray(c.cfg.DMax, c.cfg.SC)
 	shardSamples := make([]uint64, len(c.shards))
 	for i, sh := range c.shards {
 		sh.mu.Lock()
-		shardSamples[i] = sh.smp.Array().Reuses()
-		merged.Merge(sh.smp.Array())
-		sh.smp.Array().Decay(c.cfg.EpochDecayShift)
+		arr := sh.smp.Array()
+		if arr.Reuses() > arr.Total() {
+			// More measured reuses than accesses: the counter array was
+			// corrupted (an N_i flipped high). Its evidence is poison —
+			// reset it and report the shard for a breaker trip.
+			arr.Reset()
+			out.corrupt = append(out.corrupt, i)
+		} else {
+			shardSamples[i] = arr.Reuses()
+			merged.Merge(arr)
+			arr.Decay(c.cfg.EpochDecayShift)
+		}
 		// Close the epoch's sampler stats into the cumulative totals so
 		// Stats always reports lifetime activity while the sampler's own
-		// window stays recent (satellite: long-running services must not
-		// accumulate unbounded cumulative-only counters).
+		// window stays recent (long-running services must not accumulate
+		// unbounded cumulative-only counters).
 		c.smpAccs += sh.smp.Stats.Accesses
 		c.smpHits += sh.smp.Stats.Hits
 		sh.smp.ResetStats()
@@ -369,11 +458,23 @@ func (c *Cache) Recompute() (oldPD, newPD int, ok bool) {
 	}
 
 	old := c.PD()
+	out.old, out.pd = old, old
 	pd := old
+	if merged.Reuses() > merged.Total() {
+		out.violation = "rdd_inconsistent"
+		return out
+	}
 	enough := merged.Reuses() >= c.cfg.MinSamples
 	if enough {
-		if found := c.cfg.Solver.FindPD(merged, c.cfg.DE); found > 0 {
-			pd, ok = found, true
+		if found := c.cfg.Solver.FindPD(merged, c.cfg.DE); found != 0 {
+			if found < 1 || found > c.cfg.DMax {
+				// The solver's answer violates the paper's own invariant
+				// (PD in [1, d_max]); installing it would corrupt every
+				// shard's protection bookkeeping.
+				out.violation = "pd_out_of_range"
+				return out
+			}
+			pd, out.moved = found, true
 		}
 	}
 	if pd < 1 {
@@ -382,6 +483,7 @@ func (c *Cache) Recompute() (oldPD, newPD int, ok bool) {
 	if pd > c.cfg.DMax {
 		pd = c.cfg.DMax
 	}
+	out.pd = pd
 	c.pd.Store(int64(pd))
 	c.gPD.Set(float64(pd))
 	c.recomputes.Add(1)
@@ -399,7 +501,7 @@ func (c *Cache) Recompute() (oldPD, newPD int, ok bool) {
 			Seq:          c.seq,
 			OldPD:        old,
 			NewPD:        pd,
-			Moved:        ok,
+			Moved:        out.moved,
 			Samples:      merged.Reuses(),
 			Total:        merged.Total(),
 			ShardSamples: shardSamples,
@@ -422,7 +524,7 @@ func (c *Cache) Recompute() (oldPD, newPD int, ok bool) {
 			})
 		}
 	}
-	return old, pd, ok
+	return out
 }
 
 // ShardStats is one shard's attribution view: traffic, occupancy and the

@@ -3,6 +3,7 @@ package kvcache
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"pdp/internal/core"
 	"pdp/internal/sampler"
@@ -36,6 +37,14 @@ type shard struct {
 	smp    *sampler.RDSampler
 	doomed []bool
 
+	// deg is the degraded-mode breaker flag: while set the shard ignores
+	// the protecting distance entirely and serves with plain LRU eviction
+	// and unconditional admission — exactly the shadow baseline it already
+	// maintains. The sampler and the protection clock keep running so
+	// clean recomputes can re-arm the breaker. Guarded by mu; transitions
+	// additionally serialize on the cache's bmu.
+	deg bool
+
 	// Recency stamps: the LRU policy in LRU mode, the shadow baseline in
 	// PDP mode.
 	stamp uint64
@@ -48,6 +57,14 @@ type shard struct {
 	dlog                 *DecisionLog
 	mEvUnprot, mEvForced *telemetry.Counter
 	mDenies, mSaves      *telemetry.Counter
+
+	// Robustness hooks: the chaos injector (nil when none), the journal
+	// for lock-hold warnings, and the hold-time watchdog threshold
+	// (0 disables it).
+	chaos      Chaos
+	journal    *telemetry.Journal
+	holdWarn   time.Duration
+	mLockWarns *telemetry.Counter
 }
 
 // shardStats are the per-shard counters folded into Stats.
@@ -56,6 +73,7 @@ type shardStats struct {
 	inserts, evictions, denies uint64
 	evictUnprot, evictForced   uint64
 	saves                      uint64
+	degradedOps, lockWarns     uint64
 	entries                    int
 }
 
@@ -66,18 +84,22 @@ type putResult struct {
 	evicted  int
 }
 
-func newShard(cfg *Config, id int, dlog *DecisionLog) *shard {
+func newShard(cfg *Config, id int, dlog *DecisionLog, mLockWarns *telemetry.Counter) *shard {
 	sh := &shard{
-		id:       id,
-		sets:     cfg.Sets,
-		ways:     cfg.Ways,
-		maxBytes: cfg.MaxBytes,
-		admitAll: cfg.AdmitAll,
-		keys:     make([]string, cfg.Sets*cfg.Ways),
-		vals:     make([][]byte, cfg.Sets*cfg.Ways),
-		valid:    make([]bool, cfg.Sets*cfg.Ways),
-		last:     make([]uint64, cfg.Sets*cfg.Ways),
-		dlog:     dlog,
+		id:         id,
+		sets:       cfg.Sets,
+		ways:       cfg.Ways,
+		maxBytes:   cfg.MaxBytes,
+		admitAll:   cfg.AdmitAll,
+		keys:       make([]string, cfg.Sets*cfg.Ways),
+		vals:       make([][]byte, cfg.Sets*cfg.Ways),
+		valid:      make([]bool, cfg.Sets*cfg.Ways),
+		last:       make([]uint64, cfg.Sets*cfg.Ways),
+		dlog:       dlog,
+		chaos:      cfg.Chaos,
+		journal:    cfg.Journal,
+		holdWarn:   cfg.LockHoldWarn,
+		mLockWarns: mLockWarns,
 	}
 	if cfg.Policy == PolicyPDP {
 		sh.prot = core.NewProtection(cfg.Sets, cfg.Ways, cfg.DMax, cfg.NC)
@@ -97,6 +119,44 @@ func newShard(cfg *Config, id int, dlog *DecisionLog) *shard {
 // setOf maps the in-shard hash to a set; the set count need not be a power
 // of two.
 func (sh *shard) setOf(h uint64) int { return int(h % uint64(sh.sets)) }
+
+// enter runs the per-operation robustness hooks under the shard lock: the
+// chaos injection point (which may corrupt the live RDD array or sleep to
+// provoke the watchdog) and the degraded-ops count. Callers pair it with
+// a deferred watchHold.
+func (sh *shard) enter() {
+	if sh.chaos != nil {
+		var arr ChaosArray
+		if sh.smp != nil {
+			arr = sh.smp.Array()
+		}
+		sh.chaos.Access(sh.id, arr)
+	}
+	if sh.deg {
+		sh.st.degradedOps++
+	}
+}
+
+// watchHold is the shard-lock hold-time watchdog: deferred right after
+// Lock (so it fires just before Unlock), it books any critical section
+// held past holdWarn — the serving-path symptom of a stalled callback or
+// an injected latency spike.
+func (sh *shard) watchHold(start time.Time) {
+	if sh.holdWarn <= 0 {
+		return
+	}
+	held := time.Since(start)
+	if held <= sh.holdWarn {
+		return
+	}
+	sh.st.lockWarns++
+	sh.mLockWarns.Inc()
+	sh.journal.Append(telemetry.LockHoldRecord{
+		Kind: telemetry.KindLockHold, Shard: sh.id,
+		HeldMS: float64(held) / float64(time.Millisecond),
+		WarnMS: float64(sh.holdWarn) / float64(time.Millisecond),
+	})
+}
 
 // samplerAddr renders the in-shard hash as the line-address the RD sampler
 // hashes its 16-bit partial tags from (it discards the low 6 offset bits).
@@ -127,6 +187,8 @@ func (sh *shard) get(h uint64, key string, pd int) ([]byte, bool) {
 	set := sh.setOf(h)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	defer sh.watchHold(time.Now())
+	sh.enter()
 	sh.st.gets++
 	w := sh.find(set, key)
 	if w < 0 {
@@ -134,7 +196,7 @@ func (sh *shard) get(h uint64, key string, pd int) ([]byte, bool) {
 		return nil, false
 	}
 	sh.st.hits++
-	if sh.doomed != nil && sh.doomed[set*sh.ways+w] {
+	if sh.doomed != nil && !sh.deg && sh.doomed[set*sh.ways+w] {
 		// The shadow LRU had already evicted this line; protection kept
 		// it, and that protection just converted into a hit.
 		sh.st.saves++
@@ -156,7 +218,9 @@ func (sh *shard) get(h uint64, key string, pd int) ([]byte, bool) {
 // closes).
 func (sh *shard) touch(set, w, pd int) {
 	if sh.prot != nil {
-		sh.prot.Promote(set, w, pd)
+		if !sh.deg {
+			sh.prot.Promote(set, w, pd)
+		}
 		sh.doomed[set*sh.ways+w] = false
 	}
 	sh.stamp++
@@ -167,6 +231,8 @@ func (sh *shard) put(h uint64, key string, value []byte, pd int) putResult {
 	set := sh.setOf(h)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	defer sh.watchHold(time.Now())
+	sh.enter()
 	sh.st.puts++
 	var res putResult
 
@@ -214,7 +280,7 @@ func (sh *shard) put(h uint64, key string, value []byte, pd int) putResult {
 	sh.st.entries++
 	sh.st.inserts++
 	res.inserted = true
-	if sh.prot != nil {
+	if sh.prot != nil && !sh.deg {
 		sh.prot.Insert(set, w, pd)
 	}
 	sh.stamp++
@@ -260,7 +326,9 @@ func (sh *shard) victimWay(set, pd int, res *putResult) int {
 			return w
 		}
 	}
-	if sh.prot == nil {
+	if sh.prot == nil || sh.deg {
+		// LRU mode, or a tripped breaker: plain recency eviction,
+		// unconditional admission.
 		w := sh.lruVictim(set)
 		sh.evict(set, w, pd, res)
 		return w
@@ -284,7 +352,7 @@ func (sh *shard) victimWay(set, pd int, res *putResult) int {
 // for the fill; -1 when none qualifies.
 func (sh *shard) budgetVictim(set, exclude int) int {
 	base := set * sh.ways
-	if sh.prot == nil {
+	if sh.prot == nil || sh.deg {
 		best, bestStamp := -1, uint64(0)
 		for w := 0; w < sh.ways; w++ {
 			if w == exclude || !sh.valid[base+w] {
@@ -358,6 +426,8 @@ func (sh *shard) delete(h uint64, key string) bool {
 	set := sh.setOf(h)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	defer sh.watchHold(time.Now())
+	sh.enter()
 	sh.st.deletes++
 	w := sh.find(set, key)
 	if w >= 0 {
@@ -391,6 +461,8 @@ func (sh *shard) addStats(st *Stats) {
 	st.EvictionsForced += sh.st.evictForced
 	st.Denies += sh.st.denies
 	st.Saves += sh.st.saves
+	st.DegradedOps += sh.st.degradedOps
+	st.LockHoldWarns += sh.st.lockWarns
 	st.Entries += sh.st.entries
 	st.Bytes += sh.bytes
 	if sh.smp != nil {

@@ -1,11 +1,15 @@
 // Package kvserver exposes a kvcache.Cache over HTTP/JSON: GET/PUT/DELETE
 // on /kv/{key}, a /stats JSON endpoint (latency quantiles, per-shard
 // attribution, the live RDD), Prometheus text exposition on /metrics, the
-// policy decision ring on /debug/decisions, and /healthz. Every route
+// policy decision ring on /debug/decisions, /healthz (liveness) and
+// /readyz (readiness: 503 while any shard serves degraded). Every route
 // runs under the instrumentation middleware (per-route/method/status
-// counters, nanosecond latency histograms, X-Request-Id threading). It is
-// the serving shell of cmd/pdpcached; the cache itself stays
-// transport-agnostic.
+// counters, nanosecond latency histograms, X-Request-Id threading); the
+// /kv/ data path additionally runs under overload protection — per-request
+// deadlines (the client's X-Deadline or a configured default) and a
+// concurrency-limited admission gate that sheds with 503 + Retry-After
+// instead of queueing unboundedly. It is the serving shell of
+// cmd/pdpcached; the cache itself stays transport-agnostic.
 package kvserver
 
 import (
@@ -21,6 +25,8 @@ import (
 	"time"
 
 	"pdp/internal/kvcache"
+	"pdp/internal/resilience"
+	"pdp/internal/servefault"
 	"pdp/internal/telemetry"
 )
 
@@ -37,6 +43,29 @@ type Config struct {
 	// SnapshotEvery emits a telemetry snapshot record at that period; 0
 	// disables. Negative values are rejected. Requires Journal.
 	SnapshotEvery time.Duration
+
+	// MaxInflight bounds concurrent /kv/ requests. A request arriving at
+	// a full gate is shed with 503 + Retry-After when it carries no
+	// deadline, and otherwise waits until a slot frees or the deadline
+	// expires (504). 0 disables the gate.
+	MaxInflight int
+	// RetryAfter is the backoff hint carried on shed responses (default
+	// 1s).
+	RetryAfter time.Duration
+	// DefaultDeadline bounds every /kv/ request that arrives without an
+	// X-Deadline header; 0 applies no default. Clients override it per
+	// request with X-Deadline (a Go duration, e.g. "250ms").
+	DefaultDeadline time.Duration
+
+	// StatePath enables crash-safe warm restarts: the cache's warm state
+	// (entries, protection bookkeeping, RDD evidence, PD) is snapshotted
+	// there every StateEvery (default 30s) and once more at shutdown,
+	// atomically and durably. Empty disables state snapshots.
+	StatePath string
+	// StateEvery is the state-snapshot period (default 30s when
+	// StatePath is set).
+	StateEvery time.Duration
+
 	// Registry and Journal receive server telemetry (both optional).
 	Registry *telemetry.Registry
 	Journal  *telemetry.Journal
@@ -49,10 +78,18 @@ type Server struct {
 	ln      net.Listener
 	httpSrv *http.Server
 	adapter *kvcache.Adapter
+	gate    *servefault.Gate
 
 	snapCancel context.CancelFunc
 	snapDone   chan struct{}
 	lastStats  kvcache.Stats
+
+	// Crash-safe state snapshots: the coalescing saver plus its ticker.
+	stateSaver  *resilience.Saver
+	stateCancel context.CancelFunc
+	stateDone   chan struct{}
+	mSnaps      *telemetry.Counter
+	mSnapErrs   *telemetry.Counter
 
 	// Middleware state: the instrumented routes (for /stats latency
 	// summaries) and the request-id generator.
@@ -84,6 +121,24 @@ func New(cache *kvcache.Cache, cfg Config) (*Server, error) {
 	if cfg.SnapshotEvery < 0 {
 		return nil, fmt.Errorf("kvserver: SnapshotEvery must be >= 0, got %v", cfg.SnapshotEvery)
 	}
+	if cfg.MaxInflight < 0 {
+		return nil, fmt.Errorf("kvserver: MaxInflight must be >= 0, got %d", cfg.MaxInflight)
+	}
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.RetryAfter < 0 {
+		return nil, fmt.Errorf("kvserver: RetryAfter must be positive, got %v", cfg.RetryAfter)
+	}
+	if cfg.DefaultDeadline < 0 {
+		return nil, fmt.Errorf("kvserver: DefaultDeadline must be >= 0, got %v", cfg.DefaultDeadline)
+	}
+	if cfg.StateEvery < 0 {
+		return nil, fmt.Errorf("kvserver: StateEvery must be >= 0, got %v", cfg.StateEvery)
+	}
+	if cfg.StatePath != "" && cfg.StateEvery == 0 {
+		cfg.StateEvery = 30 * time.Second
+	}
 	if cfg.Registry == nil {
 		// Default to the cache's registry so one /metrics scrape covers
 		// both the serving layer and the cache it fronts.
@@ -91,10 +146,14 @@ func New(cache *kvcache.Cache, cfg Config) (*Server, error) {
 	}
 	s := &Server{cfg: cfg, cache: cache, errCh: make(chan error, 1)}
 	s.mErrors = cfg.Registry.Counter("http.serve_errors")
+	s.mSnapErrs = cfg.Registry.Counter("kv.state_snapshot_errors")
+	s.mSnaps = cfg.Registry.Counter("kv.state_snapshots")
+	s.gate = servefault.NewGate(cfg.MaxInflight, cfg.RetryAfter, cfg.Registry, cfg.Journal)
 	mux := http.NewServeMux()
-	mux.Handle("/kv/", s.instrument("/kv/", s.handleKV))
+	mux.Handle("/kv/", s.instrument("/kv/", s.protect("/kv/", s.handleKV)))
 	mux.Handle("/stats", s.instrument("/stats", getOnly(s.handleStats)))
 	mux.Handle("/healthz", s.instrument("/healthz", getOnly(s.handleHealthz)))
+	mux.Handle("/readyz", s.instrument("/readyz", getOnly(s.handleReadyz)))
 	mux.Handle("/metrics", s.instrument("/metrics", getOnly(s.handleMetrics)))
 	mux.Handle("/debug/decisions", s.instrument("/debug/decisions", getOnly(s.handleDecisions)))
 	s.httpSrv = &http.Server{Handler: mux}
@@ -149,7 +208,44 @@ func (s *Server) Start(ctx context.Context) error {
 		s.snapDone = make(chan struct{})
 		go s.snapshotLoop(snapCtx)
 	}
+	if s.cfg.StatePath != "" {
+		s.stateSaver = resilience.NewSaver(s.saveState, func(err error) {
+			s.serveError("", "", err)
+		})
+		stateCtx, cancel := context.WithCancel(ctx)
+		s.stateCancel = cancel
+		s.stateDone = make(chan struct{})
+		go s.stateLoop(stateCtx)
+	}
 	return nil
+}
+
+// saveState persists one crash-safe cache snapshot (the Saver's save
+// closure; also run once more by its Close during Shutdown).
+func (s *Server) saveState() error {
+	err := servefault.SaveSnapshot(s.cache, s.cfg.StatePath, s.cfg.Journal)
+	if err != nil {
+		s.mSnapErrs.Inc()
+		return err
+	}
+	s.mSnaps.Inc()
+	return nil
+}
+
+// stateLoop requests one state snapshot per period; the coalescing Saver
+// serializes the writes.
+func (s *Server) stateLoop(ctx context.Context) {
+	defer close(s.stateDone)
+	t := time.NewTicker(s.cfg.StateEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.stateSaver.Request()
+		}
+	}
 }
 
 // Addr returns the bound listen address (valid after Start).
@@ -163,13 +259,21 @@ func (s *Server) Addr() string {
 // Err returns a channel receiving a fatal serve error, if one occurs.
 func (s *Server) Err() <-chan error { return s.errCh }
 
-// Shutdown stops the snapshot loop, the adapter and the HTTP server
-// gracefully, then flushes the journal.
+// Shutdown stops the snapshot loops, the adapter and the HTTP server
+// gracefully — persisting one final cache-state snapshot when StatePath
+// is configured, so a clean restart resumes from the freshest state —
+// then flushes the journal.
 func (s *Server) Shutdown(ctx context.Context) error {
 	if s.snapCancel != nil {
 		s.snapCancel()
 		<-s.snapDone
 		s.snapCancel = nil
+	}
+	if s.stateCancel != nil {
+		s.stateCancel()
+		<-s.stateDone
+		s.stateCancel = nil
+		s.stateSaver.Close()
 	}
 	if s.adapter != nil {
 		s.adapter.Stop()
@@ -224,6 +328,55 @@ func (s *Server) emitSnapshot() {
 		Bypasses:        st.Denies,
 		ValidFrac:       validFrac,
 	})
+}
+
+// protect wraps a data-path handler with overload protection: the
+// per-request deadline (the client's X-Deadline, else the configured
+// default) and the admission gate. Shed requests answer 503 with a
+// Retry-After hint; requests whose deadline expires while queued answer
+// 504. Composed inside instrument, so sheds still count in the route's
+// request metrics and latency histogram.
+func (s *Server) protect(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+		deadline := s.cfg.DefaultDeadline
+		if v := r.Header.Get("X-Deadline"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				http.Error(w, "bad X-Deadline", http.StatusBadRequest)
+				return
+			}
+			deadline = d
+		}
+		if deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, deadline)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		switch err := s.gate.Enter(ctx, route, requestID(r)); err {
+		case nil:
+			defer s.gate.Exit()
+		case servefault.ErrShed:
+			secs := int(s.gate.RetryAfter() / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			http.Error(w, "overloaded, retry later", http.StatusServiceUnavailable)
+			return
+		default: // servefault.ErrDeadline
+			http.Error(w, "deadline expired while queued", http.StatusGatewayTimeout)
+			return
+		}
+		if ctx.Err() != nil {
+			// Admitted, but the budget is already gone: answering 504 now is
+			// cheaper than doing work the client has stopped waiting for.
+			http.Error(w, "deadline expired", http.StatusGatewayTimeout)
+			return
+		}
+		h(w, r)
+	}
 }
 
 // handleKV dispatches GET/PUT/DELETE on /kv/{key}.
@@ -285,6 +438,12 @@ type latencyView struct {
 	P999  float64 `json:"p999"`
 }
 
+// gateView is the admission gate's state in /stats.
+type gateView struct {
+	MaxInflight int `json:"max_inflight"`
+	InFlight    int `json:"in_flight"`
+}
+
 // shardView is kvcache.ShardStats plus its derived hit rate.
 type shardView struct {
 	kvcache.ShardStats
@@ -311,6 +470,9 @@ type statsResponse struct {
 	LatencyUS map[string]latencyView `json:"latency_us,omitempty"`
 	Shards    []shardView            `json:"shards,omitempty"`
 	ShardSkew *skewView              `json:"shard_skew,omitempty"`
+	// Gate reports overload-protection state when the admission gate is
+	// enabled.
+	Gate *gateView `json:"gate,omitempty"`
 	// RDD is the live merged reuse-distance distribution (PDP only) —
 	// what the next recompute will decide from.
 	RDD *kvcache.RDDView `json:"rdd,omitempty"`
@@ -370,6 +532,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			skew.TrafficSkew = maxGets / (sumGets / n)
 		}
 		resp.ShardSkew = skew
+	}
+	if s.gate != nil {
+		resp.Gate = &gateView{MaxInflight: s.cfg.MaxInflight, InFlight: s.gate.InFlight()}
 	}
 	if rdd := s.cache.RDDSnapshot(); rdd.Counts != nil {
 		resp.RDD = &rdd
@@ -440,9 +605,42 @@ func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealthz is liveness: the process is up and serving HTTP. It stays
+// 200 even while shards serve degraded — a degraded cache is exactly the
+// state where restarting the process would make things worse.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	if _, err := io.WriteString(w, "ok\n"); err != nil {
 		s.serveError("/healthz", requestID(r), err)
+	}
+}
+
+// readyzResponse is the /readyz JSON schema.
+type readyzResponse struct {
+	Ready bool `json:"ready"`
+	// DegradedShards is the number of shards currently serving in
+	// shadow-LRU fallback (the reason for a not-ready answer).
+	DegradedShards int `json:"degraded_shards"`
+	// BreakerTrips/Rearms give the transition history behind the state.
+	BreakerTrips  uint64 `json:"breaker_trips"`
+	BreakerRearms uint64 `json:"breaker_rearms"`
+}
+
+// handleReadyz is readiness: 200 while every shard serves its configured
+// policy, 503 while any shard is tripped into degraded shadow-LRU
+// fallback — load balancers drain a degraded replica without killing it.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := readyzResponse{
+		DegradedShards: s.cache.DegradedShards(),
+		BreakerTrips:   s.cache.BreakerTrips(),
+		BreakerRearms:  s.cache.BreakerRearms(),
+	}
+	resp.Ready = resp.DegradedShards == 0
+	w.Header().Set("Content-Type", "application/json")
+	if !resp.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		s.serveError("/readyz", requestID(r), err)
 	}
 }

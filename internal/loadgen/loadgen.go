@@ -4,19 +4,31 @@
 // seed and its worker index, so a run is reproducible for any worker
 // count, and the same seeded stream can be replayed against a PDP and an
 // LRU server for an apples-to-apples hit-rate comparison.
+//
+// The client is overload-aware: it propagates a per-request deadline via
+// X-Deadline, retries shed (503) and transport-failed requests with
+// capped exponential backoff plus seeded jitter, and classifies every
+// failure — shed vs timeout vs transport vs server error — so a chaos
+// campaign can tell load shedding (availability working as designed)
+// from actual unavailability. Sheds and failures never pollute the
+// measured hit rate: hits and misses count only from definitive 200/404
+// answers.
 package loadgen
 
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
 
 	"pdp/internal/telemetry"
+	"pdp/internal/trace"
 	"pdp/internal/workload"
 )
 
@@ -32,6 +44,19 @@ type Config struct {
 	Ops int
 	// Seed is the base seed; worker w uses Seed + w.
 	Seed uint64
+	// Retries is how many times a shed (503) or transport-failed request
+	// is re-issued after backoff (default 2; negative disables retries).
+	// Timeouts are not retried — their budget is already spent.
+	Retries int
+	// RetryBase and RetryMax shape the capped exponential backoff between
+	// retries (defaults 10ms and 250ms); each wait is jittered by a
+	// seeded uniform factor in [0.5, 1.5) so synchronized workers do not
+	// retry in lockstep.
+	RetryBase, RetryMax time.Duration
+	// Deadline, when positive, is each request's time budget: sent to the
+	// server as X-Deadline and enforced client-side via the request
+	// context.
+	Deadline time.Duration
 	// Registry, when set, receives the loadgen.latency_ns histogram; the
 	// Result carries latency quantiles either way.
 	Registry *telemetry.Registry
@@ -50,6 +75,21 @@ func (c *Config) setDefaults() error {
 	if c.Workers < 0 || c.Ops < 0 {
 		return fmt.Errorf("loadgen: Workers=%d Ops=%d must be positive", c.Workers, c.Ops)
 	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 10 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 250 * time.Millisecond
+	}
+	if c.Deadline < 0 {
+		return fmt.Errorf("loadgen: Deadline must be >= 0, got %v", c.Deadline)
+	}
 	return c.Mix.Validate()
 }
 
@@ -61,6 +101,17 @@ type Result struct {
 	Misses   uint64        `json:"misses"`
 	Denies   uint64        `json:"denies"`
 	Duration time.Duration `json:"duration_ns"`
+	// The failure taxonomy, by final per-operation outcome after retries:
+	// Sheds are 503 answers (overload protection working as designed, so
+	// excluded from Errors), Timeouts are 504s plus client-side deadline
+	// expiries, Transport connection-level failures, Server5xx any other
+	// 5xx. Errors aggregates Timeouts + Transport + Server5xx. Retries
+	// counts re-issued requests (attempts beyond each operation's first).
+	Sheds     uint64 `json:"sheds"`
+	Timeouts  uint64 `json:"timeouts"`
+	Transport uint64 `json:"transport_errors"`
+	Server5xx uint64 `json:"server_5xx"`
+	Retries   uint64 `json:"retries"`
 	// Client-observed request latency in microseconds: the mean plus
 	// quantiles interpolated from the log2 nanosecond histogram.
 	MeanLatencyUS float64 `json:"mean_latency_us"`
@@ -70,12 +121,25 @@ type Result struct {
 	P999LatencyUS float64 `json:"p999_latency_us"`
 }
 
-// HitRate returns Hits/(Hits+Misses) — the client-observed GET hit rate.
+// HitRate returns Hits/(Hits+Misses) — the client-observed GET hit rate,
+// over definitive answers only (sheds, timeouts and errors are excluded).
 func (r Result) HitRate() float64 {
 	if r.Hits+r.Misses == 0 {
 		return 0
 	}
 	return float64(r.Hits) / float64(r.Hits+r.Misses)
+}
+
+// Availability returns the fraction of operations that received an
+// orderly answer — success or an explicit shed — as opposed to a
+// timeout, transport failure, or server error. An overloaded server that
+// sheds cleanly is available; one that times out or 500s is not.
+func (r Result) Availability() float64 {
+	total := r.Ops + r.Sheds + r.Errors
+	if total == 0 {
+		return 1
+	}
+	return float64(r.Ops+r.Sheds) / float64(total)
 }
 
 // Throughput returns operations per second.
@@ -87,7 +151,7 @@ func (r Result) Throughput() float64 {
 }
 
 // Run replays the mix until every worker finishes its ops or ctx is
-// cancelled. Transport errors are counted, not fatal (the harness's
+// cancelled. Failures are counted, not fatal (the harness's
 // graceful-degradation convention).
 func Run(ctx context.Context, cfg Config) (Result, error) {
 	if err := cfg.setDefaults(); err != nil {
@@ -113,24 +177,29 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		go func(w int) {
 			defer wg.Done()
 			stream := workload.NewServiceStream(cfg.Mix, cfg.Seed+uint64(w))
-			worker := newWorker(client, base, hist)
+			worker := newWorker(client, base, hist, &cfg, cfg.Seed+uint64(w))
 			for i := 0; i < cfg.Ops; i++ {
 				if ctx.Err() != nil {
 					break
 				}
-				worker.do(stream.Next())
+				worker.do(ctx, stream.Next())
 			}
 			mu.Lock()
 			res.Ops += worker.ops
-			res.Errors += worker.errors
 			res.Hits += worker.hits
 			res.Misses += worker.misses
 			res.Denies += worker.denies
+			res.Sheds += worker.sheds
+			res.Timeouts += worker.timeouts
+			res.Transport += worker.transport
+			res.Server5xx += worker.server5xx
+			res.Retries += worker.retries
 			mu.Unlock()
 		}(w)
 	}
 	wg.Wait()
 	res.Duration = time.Since(start)
+	res.Errors = res.Timeouts + res.Transport + res.Server5xx
 	if hist.Count() > 0 {
 		q := hist.Summary()
 		res.MeanLatencyUS = hist.Mean() / 1e3
@@ -142,90 +211,194 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	return res, ctx.Err()
 }
 
+// outcome classifies one operation's final fate.
+type outcome int
+
+const (
+	outOK        outcome = iota // a definitive answer (2xx/404)
+	outShed                     // 503 after retries: shed by overload protection
+	outTimeout                  // 504, or the client-side deadline expired
+	outTransport                // connection-level failure after retries
+	outServer                   // any other 5xx
+)
+
 // worker is one client goroutine's state.
 type worker struct {
 	client *http.Client
 	base   string
 	hist   *telemetry.Histogram
 	buf    []byte
+	rng    *trace.RNG
 
-	ops, errors, hits, misses, denies uint64
+	maxRetries          int
+	retryBase, retryMax time.Duration
+	deadline            time.Duration
+
+	ops, hits, misses, denies             uint64
+	sheds, timeouts, transport, server5xx uint64
+	retries                               uint64
 }
 
-func newWorker(client *http.Client, base string, hist *telemetry.Histogram) *worker {
-	return &worker{client: client, base: base, hist: hist, buf: make([]byte, 1<<16)}
+func newWorker(client *http.Client, base string, hist *telemetry.Histogram, cfg *Config, seed uint64) *worker {
+	return &worker{
+		client:     client,
+		base:       base,
+		hist:       hist,
+		buf:        make([]byte, 1<<16),
+		rng:        trace.NewRNG(seed ^ 0xA11A11A1),
+		maxRetries: cfg.Retries,
+		retryBase:  cfg.RetryBase,
+		retryMax:   cfg.RetryMax,
+		deadline:   cfg.Deadline,
+	}
+}
+
+// book counts one failed operation's final outcome.
+func (w *worker) book(out outcome) {
+	switch out {
+	case outShed:
+		w.sheds++
+	case outTimeout:
+		w.timeouts++
+	case outTransport:
+		w.transport++
+	case outServer:
+		w.server5xx++
+	}
 }
 
 // do issues one operation cache-aside: a GET that misses is followed by a
 // PUT of the key's deterministic value.
-func (w *worker) do(op workload.Op) {
+func (w *worker) do(ctx context.Context, op workload.Op) {
 	key := fmt.Sprintf("k%016x", op.Key)
 	switch op.Kind {
 	case workload.OpGet:
-		hit, err := w.get(key)
-		if err != nil {
-			w.errors++
+		status, _, out := w.exchange(ctx, http.MethodGet, key, nil)
+		if out != outOK {
+			w.book(out)
 			return
 		}
 		w.ops++
-		if hit {
+		if status == http.StatusOK {
 			w.hits++
-		} else {
-			w.misses++
-			w.put(key, op.Size)
+			return
+		}
+		w.misses++
+		if fillOut, denied := w.put(ctx, key, op.Size); fillOut != outOK {
+			w.book(fillOut)
+		} else if denied {
+			w.denies++
 		}
 	case workload.OpPut:
-		w.ops++
-		w.put(key, op.Size)
-	case workload.OpDelete:
-		w.ops++
-		req, _ := http.NewRequest(http.MethodDelete, w.base+"/kv/"+key, nil)
-		if resp, err := w.client.Do(req); err != nil {
-			w.errors++
-		} else {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
+		out, denied := w.put(ctx, key, op.Size)
+		if out != outOK {
+			w.book(out)
+			return
 		}
+		w.ops++
+		if denied {
+			w.denies++
+		}
+	case workload.OpDelete:
+		_, _, out := w.exchange(ctx, http.MethodDelete, key, nil)
+		if out != outOK {
+			w.book(out)
+			return
+		}
+		w.ops++
 	}
 }
 
-func (w *worker) get(key string) (bool, error) {
-	t0 := time.Now()
-	resp, err := w.client.Get(w.base + "/kv/" + key)
-	if err != nil {
-		return false, err
-	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
-	w.hist.Observe(uint64(time.Since(t0).Nanoseconds()))
-	switch resp.StatusCode {
-	case http.StatusOK:
-		return true, nil
-	case http.StatusNotFound:
-		return false, nil
-	default:
-		return false, fmt.Errorf("GET %s: %s", key, resp.Status)
-	}
-}
-
-func (w *worker) put(key string, size int) {
+// put PUTs a deterministic value of the given size, reporting the
+// outcome and whether admission was denied (204 + X-Cache: deny).
+func (w *worker) put(ctx context.Context, key string, size int) (outcome, bool) {
 	if size <= 0 {
 		size = 64
 	}
 	for size > len(w.buf) {
 		w.buf = append(w.buf, make([]byte, len(w.buf))...)
 	}
-	req, _ := http.NewRequest(http.MethodPut, w.base+"/kv/"+key, bytes.NewReader(w.buf[:size]))
+	status, xcache, out := w.exchange(ctx, http.MethodPut, key, w.buf[:size])
+	return out, out == outOK && status == http.StatusNoContent && xcache == "deny"
+}
+
+// exchange issues one request with the retry loop: sheds and transport
+// failures back off (capped exponential, seeded jitter) and retry up to
+// maxRetries times; timeouts and server errors return immediately. On
+// outOK it returns the status and the X-Cache header.
+func (w *worker) exchange(ctx context.Context, method, key string, body []byte) (int, string, outcome) {
+	for attempt := 0; ; attempt++ {
+		status, xcache, out := w.once(ctx, method, key, body)
+		if out == outOK {
+			return status, xcache, outOK
+		}
+		retryable := out == outShed || out == outTransport
+		if !retryable || attempt >= w.maxRetries || ctx.Err() != nil {
+			return 0, "", out
+		}
+		w.retries++
+		w.sleepBackoff(attempt)
+	}
+}
+
+// sleepBackoff waits retryBase<<attempt, capped at retryMax, jittered by
+// a seeded uniform factor in [0.5, 1.5).
+func (w *worker) sleepBackoff(attempt int) {
+	d := w.retryBase << uint(attempt)
+	if d > w.retryMax || d <= 0 {
+		d = w.retryMax
+	}
+	d = time.Duration(float64(d) * (0.5 + w.rng.Float64()))
+	time.Sleep(d)
+}
+
+// once issues a single attempt and classifies it.
+func (w *worker) once(ctx context.Context, method, key string, body []byte) (int, string, outcome) {
+	if w.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, w.deadline)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, w.base+"/kv/"+key, rd)
+	if err != nil {
+		return 0, "", outTransport
+	}
+	if w.deadline > 0 {
+		req.Header.Set("X-Deadline", w.deadline.String())
+	}
 	t0 := time.Now()
 	resp, err := w.client.Do(req)
 	if err != nil {
-		w.errors++
-		return
+		if isTimeout(err) {
+			return 0, "", outTimeout
+		}
+		return 0, "", outTransport
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	w.hist.Observe(uint64(time.Since(t0).Nanoseconds()))
-	if resp.StatusCode == http.StatusNoContent && resp.Header.Get("X-Cache") == "deny" {
-		w.denies++
+	switch {
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return 0, "", outShed
+	case resp.StatusCode == http.StatusGatewayTimeout:
+		return 0, "", outTimeout
+	case resp.StatusCode >= 500:
+		return 0, "", outServer
+	default:
+		return resp.StatusCode, resp.Header.Get("X-Cache"), outOK
 	}
+}
+
+// isTimeout reports whether a client-side error is a deadline expiry
+// rather than a connection failure.
+func isTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }

@@ -1,0 +1,167 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pdp/internal/workload"
+)
+
+// getOnlyMix is a mix whose every operation is an OpGet, so each failure
+// case maps to exactly one classified outcome.
+var getOnlyMix = workload.ServiceConfig{Keys: 4, ValueBytes: 8}
+
+func runAgainst(t *testing.T, url string, ops int) Result {
+	t.Helper()
+	res, err := Run(context.Background(), Config{
+		BaseURL:   url,
+		Mix:       getOnlyMix,
+		Workers:   1,
+		Ops:       ops,
+		Seed:      1,
+		Retries:   2,
+		RetryBase: time.Millisecond,
+		RetryMax:  2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestShedsRetriedAndExcludedFromErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	res := runAgainst(t, srv.URL, 3)
+	if res.Sheds != 3 || res.Ops != 0 {
+		t.Fatalf("sheds=%d ops=%d, want 3/0", res.Sheds, res.Ops)
+	}
+	if res.Retries != 6 {
+		t.Fatalf("retries=%d, want 2 per op", res.Retries)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("sheds leaked into Errors: %d", res.Errors)
+	}
+	if res.Availability() != 1 {
+		t.Fatalf("availability=%f; orderly sheds are available", res.Availability())
+	}
+	if res.Hits+res.Misses != 0 {
+		t.Fatal("sheds polluted the hit-rate denominator")
+	}
+}
+
+func TestServerErrorsNotRetried(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	res := runAgainst(t, srv.URL, 3)
+	if res.Server5xx != 3 || res.Retries != 0 {
+		t.Fatalf("server5xx=%d retries=%d, want 3/0", res.Server5xx, res.Retries)
+	}
+	if res.Errors != 3 || res.Availability() != 0 {
+		t.Fatalf("errors=%d availability=%f", res.Errors, res.Availability())
+	}
+}
+
+func TestGatewayTimeoutsNotRetried(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "deadline", http.StatusGatewayTimeout)
+	}))
+	defer srv.Close()
+
+	res := runAgainst(t, srv.URL, 2)
+	if res.Timeouts != 2 || res.Retries != 0 {
+		t.Fatalf("timeouts=%d retries=%d, want 2/0", res.Timeouts, res.Retries)
+	}
+}
+
+func TestTransportFailuresRetried(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close() // nothing is listening anymore
+
+	res := runAgainst(t, url, 2)
+	if res.Transport != 2 {
+		t.Fatalf("transport=%d, want 2", res.Transport)
+	}
+	if res.Retries != 4 {
+		t.Fatalf("retries=%d, want 2 per op", res.Retries)
+	}
+}
+
+func TestRecoveryAfterRetries(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("v"))
+	}))
+	defer srv.Close()
+
+	res := runAgainst(t, srv.URL, 1)
+	if res.Ops != 1 || res.Hits != 1 {
+		t.Fatalf("ops=%d hits=%d; the op should succeed on the third attempt", res.Ops, res.Hits)
+	}
+	if res.Retries != 2 || res.Sheds != 0 {
+		t.Fatalf("retries=%d sheds=%d; retried-then-successful ops are not sheds", res.Retries, res.Sheds)
+	}
+}
+
+func TestDeadlinePropagatedAsHeader(t *testing.T) {
+	var sawHeader atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("X-Deadline") == "250ms" {
+			sawHeader.Store(true)
+		}
+		w.Write([]byte("v"))
+	}))
+	defer srv.Close()
+
+	_, err := Run(context.Background(), Config{
+		BaseURL:  srv.URL,
+		Mix:      getOnlyMix,
+		Workers:  1,
+		Ops:      1,
+		Deadline: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawHeader.Load() {
+		t.Fatal("X-Deadline header not propagated")
+	}
+}
+
+func TestClientSideDeadlineIsTimeout(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(200 * time.Millisecond)
+	}))
+	defer srv.Close()
+
+	res, err := Run(context.Background(), Config{
+		BaseURL:  srv.URL,
+		Mix:      getOnlyMix,
+		Workers:  1,
+		Ops:      1,
+		Retries:  2,
+		Deadline: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeouts != 1 || res.Retries != 0 {
+		t.Fatalf("timeouts=%d retries=%d; an expired budget must not be retried", res.Timeouts, res.Retries)
+	}
+}

@@ -1,0 +1,80 @@
+package resilience
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path so that a crash — including power
+// loss — at any point leaves either the previous file or the new one,
+// never a partial or missing file. The sequence is the full durability
+// dance:
+//
+//  1. write to a temp file in the target directory (same filesystem, so
+//     the rename is atomic),
+//  2. fsync the temp file (the data itself reaches stable storage),
+//  3. rename over the target (atomic replacement),
+//  4. fsync the parent directory (the rename — a directory-entry update —
+//     reaches stable storage too).
+//
+// Step 4 is the one that distinguishes surviving power loss from merely
+// surviving a process crash: without it the kernel may hold the directory
+// update in cache, and a power cut can resurrect the old name pointing at
+// the old inode, or no name at all.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("atomic write: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("atomic write: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomic write: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomic write: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames within it are durable. Some
+// platforms/filesystems refuse to fsync a directory handle; that is a
+// property of the platform, not a failed write, so such errors are
+// swallowed — the data fsync already happened and the rename is atomic.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("atomic write: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !isSyncUnsupported(err) {
+		return fmt.Errorf("atomic write: sync dir: %w", err)
+	}
+	return nil
+}
+
+// isSyncUnsupported reports whether a Sync error means "this handle kind
+// cannot be synced here" rather than "the sync failed".
+func isSyncUnsupported(err error) bool {
+	pe, ok := err.(*os.PathError)
+	if !ok {
+		return false
+	}
+	msg := pe.Err.Error()
+	return msg == "invalid argument" || msg == "operation not supported" ||
+		msg == "not supported" || msg == "bad file descriptor"
+}

@@ -1,0 +1,41 @@
+package resilience
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+
+	if err := WriteFileAtomic(path, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "one" {
+		t.Fatalf("read back %q", got)
+	}
+
+	// Overwrite replaces the content whole; the old file is never
+	// partially visible and no temp files are left behind.
+	if err := WriteFileAtomic(path, []byte("two is longer")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "two is longer" {
+		t.Fatalf("read back %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d directory entries after two writes; temp file leaked", len(entries))
+	}
+}
+
+func TestWriteFileAtomicBadDir(t *testing.T) {
+	if err := WriteFileAtomic(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x")); err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}

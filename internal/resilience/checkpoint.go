@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sync"
 	"time"
 
@@ -179,8 +178,9 @@ func (c *Checkpoint) ClearOffset(key string) {
 	delete(c.d.Offsets, key)
 }
 
-// Save writes the checkpoint atomically (temp file + rename in the target
-// directory), so a crash mid-save never corrupts an existing checkpoint.
+// Save writes the checkpoint atomically and durably (temp file + fsync +
+// rename + parent-directory fsync, via WriteFileAtomic), so a crash — or a
+// power cut — mid-save never corrupts or loses an existing checkpoint.
 // When journal is non-nil the save is recorded as a checkpoint event.
 func (c *Checkpoint) Save(path string, journal *telemetry.Journal) error {
 	c.mu.Lock()
@@ -198,23 +198,7 @@ func (c *Checkpoint) Save(path string, journal *telemetry.Journal) error {
 	}
 	data = append(data, '\n')
 
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".checkpoint-*.tmp")
-	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := WriteFileAtomic(path, data); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	journal.Append(telemetry.CheckpointRecord{

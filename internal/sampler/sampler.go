@@ -121,6 +121,31 @@ func (c *CounterArray) Corrupt(k int, mask uint32) {
 	}
 }
 
+// SetCounts overwrites the array's state from a saved snapshot: the N_i
+// counters (shorter slices leave the tail zero; longer ones are
+// truncated), N_t, and the saturation freeze re-derived from the restored
+// values. The serving layer's crash-safe warm restart uses it to put a
+// restored cache's RDD evidence back where the snapshot left it.
+func (c *CounterArray) SetCounts(counts []uint32, total uint64) {
+	c.Reset()
+	for i := range c.n {
+		if i >= len(counts) {
+			break
+		}
+		v := counts[i]
+		if v >= c.NiMax {
+			v = c.NiMax
+			c.frozen = true
+		}
+		c.n[i] = v
+	}
+	if total >= c.NtMax {
+		total = c.NtMax
+		c.frozen = true
+	}
+	c.nt = total
+}
+
 // Reset clears all counters and unfreezes the array.
 func (c *CounterArray) Reset() {
 	for i := range c.n {

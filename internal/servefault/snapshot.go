@@ -1,0 +1,69 @@
+package servefault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"pdp/internal/kvcache"
+	"pdp/internal/resilience"
+	"pdp/internal/telemetry"
+)
+
+// SaveSnapshot captures the cache's warm state and writes it to path
+// atomically and durably (temp file + fsync + rename + parent-directory
+// fsync), journaling one CacheSnapshotRecord per attempt — failed saves
+// included, with the error text.
+func SaveSnapshot(c *kvcache.Cache, path string, journal *telemetry.Journal) error {
+	s := c.Snapshot()
+	entries := 0
+	var bytes int64
+	for _, sh := range s.Shards {
+		entries += len(sh.Entries)
+		for _, e := range sh.Entries {
+			bytes += int64(len(e.Value))
+		}
+	}
+	rec := telemetry.CacheSnapshotRecord{
+		Kind: telemetry.KindCacheSnapshot, Path: path,
+		Entries: entries, Bytes: bytes, PD: s.PD,
+	}
+	data, err := json.Marshal(s)
+	if err == nil {
+		err = resilience.WriteFileAtomic(path, data)
+	}
+	if err != nil {
+		rec.Err = err.Error()
+		journal.Append(rec)
+		return fmt.Errorf("servefault: snapshot %s: %w", path, err)
+	}
+	journal.Append(rec)
+	return nil
+}
+
+// LoadSnapshot reads and parses a snapshot file. A missing file returns
+// the underlying fs.ErrNotExist so resuming callers can distinguish
+// "no snapshot yet" (cold-start quietly) from a corrupt one (warn).
+func LoadSnapshot(path string) (*kvcache.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s kvcache.Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("servefault: snapshot %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// RestoreFromFile loads path and replays it into c (which should be
+// freshly built and empty), returning the number of entries restored. A
+// version or geometry mismatch is an error and restores nothing; the
+// caller logs it and cold-starts.
+func RestoreFromFile(c *kvcache.Cache, path string) (int, error) {
+	s, err := LoadSnapshot(path)
+	if err != nil {
+		return 0, err
+	}
+	return c.Restore(s)
+}
