@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-overhead bench-parallel bench-serve repro repro-parallel fuzz faultcamp serve loadtest scrape serve-smoke chaos clean
+.PHONY: check build vet test race bench bench-overhead bench-parallel bench-serve bench-hotpath bench-alloc repro repro-parallel fuzz faultcamp serve loadtest scrape serve-smoke chaos clean
 
 # check is the CI gate: build, vet, race-enabled tests.
 check: build vet race
@@ -54,6 +54,7 @@ serve-smoke:
 	$(GO) build ./cmd/pdpcached ./cmd/pdpload ./cmd/promlint
 	$(GO) test -race -count=1 ./internal/kvcache/ ./internal/kvserver/ ./internal/loadgen/
 	$(GO) test -count=1 -run TestMiddlewareOverheadBudget -v ./internal/kvserver/
+	$(GO) test -count=1 -run 'AllocBudget' -v ./internal/kvcache/
 
 # Middleware overhead: the instrumented request path must stay under
 # 1us/request (asserted by TestMiddlewareOverheadBudget).
@@ -63,6 +64,17 @@ bench-overhead:
 # Serving throughput + hit rate at 1/4/8 workers, into BENCH_serve.json.
 bench-serve:
 	./scripts/bench_serve.sh
+
+# Serving hot path: shard microbenchmarks (vs the pre-overhaul
+# baseline), the shards x GOMAXPROCS sweep, and p99/throughput under
+# pdpload at 1/4/16 workers, into BENCH_hotpath.json.
+bench-hotpath:
+	./scripts/bench_hotpath.sh
+
+# Allocation budget guard: GET <= 1 alloc/op (0 for GetAppend/miss),
+# PUT <= 2 (0 expected), best-of-three against background noise.
+bench-alloc:
+	$(GO) test -count=1 -run 'AllocBudget' -v ./internal/kvcache/
 
 # Fuzz smoke: the two untrusted decoders (trace files, checkpoints).
 fuzz:

@@ -45,6 +45,7 @@ import (
 	"fmt"
 	"io/fs"
 	"os"
+	"runtime"
 	"time"
 
 	"pdp/internal/faultinject"
@@ -63,7 +64,8 @@ func fail(code int, format string, args ...any) {
 func main() {
 	addr := flag.String("addr", ":7070", "listen address (use :0 for a random port)")
 	policy := flag.String("policy", "pdp", "eviction policy: pdp or lru")
-	shards := flag.Int("shards", 16, "independently locked cache shards")
+	shards := flag.Int("shards", 16, "independently locked cache shards (0 = auto-scale to GOMAXPROCS)")
+	lockHoldSample := flag.Int("lock-hold-sample", 64, "sample 1 in N operations for the lock-hold watchdog (1 = every operation)")
 	sets := flag.Int("sets", 64, "sets per shard (need not be a power of two)")
 	ways := flag.Int("ways", 8, "ways per set")
 	maxBytes := flag.Int64("max-bytes", 0, "value-byte budget per shard (0 = unbounded)")
@@ -115,6 +117,15 @@ func main() {
 	if err != nil {
 		fail(2, "%v", err)
 	}
+	if *shards == 0 {
+		// Auto-scale the lock-striping to the machine: more cores, more
+		// shards, fewer collisions of concurrently running requests on one
+		// shard lock. Hit rate is unaffected (the set geometry per shard is
+		// unchanged; only the key->shard spread widens).
+		*shards = kvcache.AutoShards()
+		fmt.Fprintf(os.Stderr, "pdpcached: -shards 0 resolved to %d for GOMAXPROCS=%d\n",
+			*shards, runtime.GOMAXPROCS(0))
+	}
 
 	reg := telemetry.NewRegistry()
 	reg.PublishExpvar("pdpcached")
@@ -151,6 +162,7 @@ func main() {
 		RearmAfter:       *rearmAfter,
 		RecomputeTimeout: *recomputeTimeout,
 		LockHoldWarn:     *lockHoldWarn,
+		HoldSampleEvery:  *lockHoldSample,
 		Registry:         reg,
 		Journal:          journal,
 	}

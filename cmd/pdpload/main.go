@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -34,7 +35,7 @@ func fail(code int, format string, args ...any) {
 func main() {
 	url := flag.String("url", "http://127.0.0.1:7070", "server base URL")
 	mixName := flag.String("mix", "zipf-loop", "request mix preset")
-	workers := flag.Int("workers", 1, "concurrent client workers")
+	workers := flag.Int("workers", 1, "concurrent client workers (0 = GOMAXPROCS)")
 	ops := flag.Int("ops", 20000, "operations per worker")
 	seed := flag.Uint64("seed", 42, "base stream seed (worker w uses seed+w)")
 	keys := flag.Int("keys", 0, "override: hot key-space size")
@@ -79,8 +80,11 @@ func main() {
 	if err := mix.Validate(); err != nil {
 		fail(2, "%v", err)
 	}
+	if *workers == 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 	if *workers < 1 {
-		fail(2, "-workers must be >= 1, got %d", *workers)
+		fail(2, "-workers must be >= 0, got %d", *workers)
 	}
 	if *ops < 1 {
 		fail(2, "-ops must be >= 1, got %d", *ops)

@@ -1,0 +1,242 @@
+package kvcache
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchConfig is the shard-microbenchmark geometry: one cache, default
+// set geometry, with the count-driven recompute pushed out of reach so
+// the numbers measure the per-operation hot path, not the amortized
+// E(d_p) search.
+func benchConfig(policy Policy, shards int) Config {
+	return Config{
+		Policy:         policy,
+		Shards:         shards,
+		Sets:           64,
+		Ways:           8,
+		RecomputeEvery: 1 << 40,
+	}
+}
+
+// benchKeys returns n keys and installs them as resident lines.
+func benchKeys(b testing.TB, c *Cache, n, valBytes int) []string {
+	b.Helper()
+	keys := make([]string, n)
+	val := make([]byte, valBytes)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench-key-%06d", i)
+		c.Put(keys[i], val)
+	}
+	return keys
+}
+
+// BenchmarkHotPathGetHit measures one resident-key Get: route, lock, set
+// walk, PDP bookkeeping, copy-out.
+func BenchmarkHotPathGetHit(b *testing.B) {
+	c, err := New(benchConfig(PolicyPDP, 16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := benchKeys(b, c, 64, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(keys[i%len(keys)]); !ok {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+// BenchmarkHotPathGetAppend is the zero-copy-out variant: the caller
+// amortizes the result buffer, so a hit costs no allocation at all.
+func BenchmarkHotPathGetAppend(b *testing.B) {
+	c, err := New(benchConfig(PolicyPDP, 16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := benchKeys(b, c, 64, 128)
+	dst := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, ok := c.GetAppend(keys[i%len(keys)], dst[:0])
+		if !ok {
+			b.Fatal("unexpected miss")
+		}
+		dst = out
+	}
+}
+
+// BenchmarkHotPathGetMiss measures the miss path: set walk plus the
+// sampler observe, no copy.
+func BenchmarkHotPathGetMiss(b *testing.B) {
+	c, err := New(benchConfig(PolicyPDP, 16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchKeys(b, c, 64, 128)
+	miss := make([]string, 64)
+	for i := range miss {
+		miss[i] = fmt.Sprintf("absent-key-%06d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(miss[i%len(miss)]); ok {
+			b.Fatal("unexpected hit")
+		}
+	}
+}
+
+// BenchmarkHotPathPutUpdate measures the steady-state PUT: an
+// update-in-place of a resident key (copy-in plus bookkeeping).
+func BenchmarkHotPathPutUpdate(b *testing.B) {
+	c, err := New(benchConfig(PolicyPDP, 16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := benchKeys(b, c, 64, 128)
+	val := make([]byte, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put(keys[i%len(keys)], val)
+	}
+}
+
+// BenchmarkHotPathPutChurn measures the fill/evict steady state: every
+// PUT is a new key, so sets stay full and each admitted fill evicts.
+func BenchmarkHotPathPutChurn(b *testing.B) {
+	c, err := New(benchConfig(PolicyLRU, 16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, 128)
+	// Twice the capacity, cycled: the first pass fills every set, after
+	// which each admitted fill evicts — the steady churn state from
+	// iteration 0 of the timed loop.
+	keys := benchKeys(b, c, 2*16*64*8, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put(keys[i%len(keys)], val)
+	}
+}
+
+// BenchmarkShardsSweep is the scaling benchmark behind the -shards knob:
+// a mixed 90/10 get/put workload under RunParallel across shard counts.
+// Run with -cpu 1,2,4 to sweep GOMAXPROCS — goroutine parallelism and the
+// sampled watchdog are per shard, so ns/op should fall as shards stop
+// being shared between running workers.
+func BenchmarkShardsSweep(b *testing.B) {
+	for _, shards := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c, err := New(benchConfig(PolicyPDP, shards))
+			if err != nil {
+				b.Fatal(err)
+			}
+			keys := benchKeys(b, c, 1024, 128)
+			val := make([]byte, 128)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					k := keys[i%len(keys)]
+					if i%10 == 9 {
+						c.Put(k, val)
+					} else {
+						c.Get(k)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// bestOfAllocs runs testing.AllocsPerRun three times and returns the
+// minimum — the same spurious-interference defense as the middleware
+// overhead guard: an unlucky GC or a background goroutine can tax one
+// run, but the true per-op allocation count is the floor.
+func bestOfAllocs(runs int, f func()) float64 {
+	best := testing.AllocsPerRun(runs, f)
+	for i := 0; i < 2; i++ {
+		if a := testing.AllocsPerRun(runs, f); a < best {
+			best = a
+		}
+	}
+	return best
+}
+
+// TestGetAllocBudget pins the GET hot path's allocation budget: at most
+// one allocation per hit (the copy-out) and zero for GetAppend with an
+// adequate caller buffer or for a miss.
+func TestGetAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	c, err := New(benchConfig(PolicyPDP, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := benchKeys(t, c, 64, 128)
+	dst := make([]byte, 0, 4096)
+	i := 0
+
+	if got := bestOfAllocs(200, func() {
+		c.Get(keys[i%len(keys)])
+		i++
+	}); got > 1 {
+		t.Errorf("Get(hit) allocates %.2f/op, budget 1", got)
+	}
+	if got := bestOfAllocs(200, func() {
+		out, _ := c.GetAppend(keys[i%len(keys)], dst[:0])
+		dst = out
+		i++
+	}); got > 0 {
+		t.Errorf("GetAppend(hit) allocates %.2f/op, budget 0", got)
+	}
+	if got := bestOfAllocs(200, func() {
+		c.Get("absent-key")
+	}); got > 0 {
+		t.Errorf("Get(miss) allocates %.2f/op, budget 0", got)
+	}
+}
+
+// TestPutAllocBudget pins the PUT hot path's allocation budget: at most
+// two allocations per op in both steady states (update-in-place and
+// fill+evict churn), with the expected count being zero — the value
+// buffer comes off the shard freelist and the displaced buffer goes back.
+func TestPutAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	c, err := New(benchConfig(PolicyPDP, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := benchKeys(t, c, 64, 128)
+	val := make([]byte, 128)
+	i := 0
+	if got := bestOfAllocs(200, func() {
+		c.Put(keys[i%len(keys)], val)
+		i++
+	}); got > 2 {
+		t.Errorf("Put(update) allocates %.2f/op, budget 2", got)
+	}
+
+	churn, err := New(benchConfig(PolicyLRU, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckeys := benchKeys(t, churn, 2*16*64*8, 128) // fill, then one full churn cycle to warm the freelist
+	i = 0
+	if got := bestOfAllocs(200, func() {
+		churn.Put(ckeys[i%len(ckeys)], val)
+		i++
+	}); got > 2 {
+		t.Errorf("Put(churn) allocates %.2f/op, budget 2", got)
+	}
+}

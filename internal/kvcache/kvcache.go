@@ -16,6 +16,7 @@ package kvcache
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -93,10 +94,18 @@ type Config struct {
 	// recompute that stalls past it trips every shard into degraded mode
 	// (0 disables the watchdog and runs recomputes inline).
 	RecomputeTimeout time.Duration
-	// LockHoldWarn is the shard-lock hold-time watchdog threshold: any
-	// cache operation holding a shard lock longer than this is counted
-	// and journaled (0 disables the watchdog).
+	// LockHoldWarn is the shard-lock hold-time watchdog threshold: a
+	// sampled cache operation holding a shard lock longer than this is
+	// counted and journaled (0 disables the watchdog).
 	LockHoldWarn time.Duration
+	// HoldSampleEvery is the watchdog sampling period: 1 in this many
+	// operations per shard is timed against LockHoldWarn (default 64;
+	// 1 restores the always-on watchdog). The first operation on each
+	// shard is always sampled, so even a single timed call can trip the
+	// watchdog in tests. Sampling keeps the two time.Now calls off the
+	// common hot path while a persistent stall (which afflicts every
+	// operation) is still caught within one period.
+	HoldSampleEvery int
 	// Chaos, when non-nil, receives the serving-path fault-injection
 	// callbacks (see the Chaos interface). Production configs leave it
 	// nil; chaos campaigns install a seeded servefault.Injector.
@@ -166,6 +175,12 @@ func (c *Config) setDefaults() error {
 	}
 	if c.LockHoldWarn < 0 {
 		return fmt.Errorf("kvcache: LockHoldWarn must be >= 0, got %v", c.LockHoldWarn)
+	}
+	if c.HoldSampleEvery == 0 {
+		c.HoldSampleEvery = 64
+	}
+	if c.HoldSampleEvery < 0 {
+		return fmt.Errorf("kvcache: HoldSampleEvery must be positive, got %d", c.HoldSampleEvery)
 	}
 	if c.DMax < 1 || c.DMax%c.SC != 0 {
 		return fmt.Errorf("kvcache: DMax=%d not a positive multiple of SC=%d", c.DMax, c.SC)
@@ -309,6 +324,21 @@ func (c *Cache) Accesses() uint64 { return c.accs.Load() }
 // Recomputes returns the number of PD recomputations performed.
 func (c *Cache) Recomputes() uint64 { return c.recomputes.Load() }
 
+// AutoShards picks a shard count scaled to GOMAXPROCS for serving
+// configs: the next power of two at or above 4x the processor count,
+// clamped to [8, 256]. Oversharding relative to cores is deliberate —
+// shards are cheap (a mutex and slice headers) and the 4x factor keeps
+// the collision probability of two running goroutines on one lock low
+// even under a skewed key distribution.
+func AutoShards() int {
+	want := 4 * runtime.GOMAXPROCS(0)
+	n := 8
+	for n < want && n < 256 {
+		n <<= 1
+	}
+	return n
+}
+
 // hash is FNV-1a over the key.
 func hash(key string) uint64 {
 	const offset, prime = 14695981039346656037, 1099511628211
@@ -326,11 +356,26 @@ func (c *Cache) route(key string) (*shard, uint64) {
 	return c.shards[h%uint64(len(c.shards))], h / uint64(len(c.shards))
 }
 
-// Get returns the value stored for key. The returned slice is shared with
-// the store and must be treated as read-only.
+// Get returns a copy of the value stored for key. The returned slice is
+// owned by the caller (the store's internal buffers are recycled, so
+// aliasing them out would race with later writes); callers on the hot
+// path that want to amortize the copy's allocation use GetAppend.
 func (c *Cache) Get(key string) ([]byte, bool) {
+	val, ok := c.GetAppend(key, nil)
+	if !ok {
+		return nil, false
+	}
+	return val, true
+}
+
+// GetAppend appends the value stored for key to dst and returns the
+// extended slice — the allocation-free variant of Get for callers that
+// reuse a buffer across requests. On a miss dst is returned unchanged.
+// The copy happens under the shard lock, so the result never aliases
+// store memory.
+func (c *Cache) GetAppend(key string, dst []byte) ([]byte, bool) {
 	sh, h := c.route(key)
-	val, ok := sh.get(h, key, c.PD())
+	val, ok := sh.get(h, key, c.PD(), dst)
 	c.mGets.Inc()
 	if ok {
 		c.mHits.Inc()
@@ -341,11 +386,16 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	return val, ok
 }
 
-// Put stores value under key, copying it. It reports whether the value
-// was admitted (an update of a resident key always is).
+// Put stores value under key, copying it. The copy happens before the
+// shard lock is taken, into a buffer recycled from the shard's freelist,
+// so the critical section never pays a copy-in or an allocation. It
+// reports whether the value was admitted (an update of a resident key
+// always is).
 func (c *Cache) Put(key string, value []byte) bool {
 	sh, h := c.route(key)
-	res := sh.put(h, key, value, c.PD())
+	buf := sh.allocBuf(len(value))
+	copy(buf, value)
+	res := sh.put(h, key, buf, c.PD())
 	c.mPuts.Inc()
 	c.mEvictions.Add(uint64(res.evicted))
 	switch {

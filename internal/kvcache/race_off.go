@@ -1,0 +1,5 @@
+//go:build !race
+
+package kvcache
+
+const raceEnabled = false

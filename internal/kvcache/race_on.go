@@ -1,0 +1,7 @@
+//go:build race
+
+package kvcache
+
+// raceEnabled gates perf-budget assertions that are meaningless under
+// the race detector's instrumentation overhead.
+const raceEnabled = true

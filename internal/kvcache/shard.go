@@ -21,16 +21,28 @@ import (
 // later hit on a doomed line is a "protection save": a hit the recency
 // baseline would have lost. The layer costs one bool per line and one
 // stamp write per access.
+//
+// Hot-path cost model: get/put/delete hold mu for the set walk, the PDP
+// bookkeeping and (get) the copy-out of the value — never for a value
+// copy-in (Cache.Put copies into a recycled buffer before locking) and
+// never for an allocation in steady state (displaced value buffers are
+// recycled through the per-shard freelist). The lock-hold watchdog is
+// sampled (1 in holdEvery operations) so the common case pays no
+// time.Now call at all.
 type shard struct {
 	mu         sync.Mutex
 	id         int
+	nshards    int
 	sets, ways int
 	maxBytes   int64
 	admitAll   bool
 
-	keys  []string
-	vals  [][]byte
-	valid []bool
+	keys []string
+	// hashes[i] is the line's in-shard key hash: find rejects non-matching
+	// lines on one integer compare instead of a string compare.
+	hashes []uint64
+	vals   [][]byte
+	valid  []bool
 
 	// PDP mode.
 	prot   *core.Protection
@@ -53,6 +65,13 @@ type shard struct {
 	bytes int64
 	st    shardStats
 
+	// Value-buffer freelist: displaced buffers (updates, evictions,
+	// deletes) parked for reuse by the next copy-in, so steady-state PUTs
+	// allocate nothing. fmu is an innermost leaf lock — it is taken with
+	// and without mu held, and never wraps another lock.
+	fmu  sync.Mutex
+	free [][]byte
+
 	// Decision attribution sinks (nil-tolerant).
 	dlog                 *DecisionLog
 	mEvUnprot, mEvForced *telemetry.Counter
@@ -60,10 +79,14 @@ type shard struct {
 
 	// Robustness hooks: the chaos injector (nil when none), the journal
 	// for lock-hold warnings, and the hold-time watchdog threshold
-	// (0 disables it).
+	// (0 disables it). holdEvery is the watchdog sampling period;
+	// holdCount counts down to the next sampled operation (it starts at 0
+	// so the very first operation is always sampled).
 	chaos      Chaos
 	journal    *telemetry.Journal
 	holdWarn   time.Duration
+	holdEvery  int
+	holdCount  int
 	mLockWarns *telemetry.Counter
 }
 
@@ -87,11 +110,13 @@ type putResult struct {
 func newShard(cfg *Config, id int, dlog *DecisionLog, mLockWarns *telemetry.Counter) *shard {
 	sh := &shard{
 		id:         id,
+		nshards:    cfg.Shards,
 		sets:       cfg.Sets,
 		ways:       cfg.Ways,
 		maxBytes:   cfg.MaxBytes,
 		admitAll:   cfg.AdmitAll,
 		keys:       make([]string, cfg.Sets*cfg.Ways),
+		hashes:     make([]uint64, cfg.Sets*cfg.Ways),
 		vals:       make([][]byte, cfg.Sets*cfg.Ways),
 		valid:      make([]bool, cfg.Sets*cfg.Ways),
 		last:       make([]uint64, cfg.Sets*cfg.Ways),
@@ -99,6 +124,7 @@ func newShard(cfg *Config, id int, dlog *DecisionLog, mLockWarns *telemetry.Coun
 		chaos:      cfg.Chaos,
 		journal:    cfg.Journal,
 		holdWarn:   cfg.LockHoldWarn,
+		holdEvery:  cfg.HoldSampleEvery,
 		mLockWarns: mLockWarns,
 	}
 	if cfg.Policy == PolicyPDP {
@@ -120,11 +146,52 @@ func newShard(cfg *Config, id int, dlog *DecisionLog, mLockWarns *telemetry.Coun
 // of two.
 func (sh *shard) setOf(h uint64) int { return int(h % uint64(sh.sets)) }
 
-// enter runs the per-operation robustness hooks under the shard lock: the
+// maxFree bounds the freelist so an emptied cache does not pin its former
+// working set forever: at most one parked buffer per line.
+func (sh *shard) maxFree() int { return sh.sets * sh.ways }
+
+// allocBuf returns a length-n buffer for a value copy-in, reusing a parked
+// buffer when one is large enough. Called WITHOUT mu held — the copy it
+// feeds happens outside the critical section.
+func (sh *shard) allocBuf(n int) []byte {
+	sh.fmu.Lock()
+	if l := len(sh.free); l > 0 {
+		b := sh.free[l-1]
+		sh.free[l-1] = nil
+		sh.free = sh.free[:l-1]
+		sh.fmu.Unlock()
+		if cap(b) >= n {
+			return b[:n]
+		}
+		// Too small for this value: let it go rather than cycling it back
+		// under every future caller's feet.
+		return make([]byte, n)
+	}
+	sh.fmu.Unlock()
+	return make([]byte, n)
+}
+
+// freeBuf parks a displaced value buffer for reuse. Safe under mu (fmu is
+// a leaf lock); the append never allocates once the freelist has grown to
+// its bound.
+func (sh *shard) freeBuf(b []byte) {
+	if b == nil {
+		return
+	}
+	sh.fmu.Lock()
+	if len(sh.free) < sh.maxFree() {
+		sh.free = append(sh.free, b)
+	}
+	sh.fmu.Unlock()
+}
+
+// enterLocked runs the per-operation hooks under the shard lock — the
 // chaos injection point (which may corrupt the live RDD array or sleep to
-// provoke the watchdog) and the degraded-ops count. Callers pair it with
-// a deferred watchHold.
-func (sh *shard) enter() {
+// provoke the watchdog), the degraded-ops count, and the sampled start of
+// the lock-hold watchdog. It returns the watchdog start time (zero when
+// this operation is not sampled); callers pair it with one deferred
+// exitLocked.
+func (sh *shard) enterLocked() (t0 time.Time) {
 	if sh.chaos != nil {
 		var arr ChaosArray
 		if sh.smp != nil {
@@ -135,16 +202,30 @@ func (sh *shard) enter() {
 	if sh.deg {
 		sh.st.degradedOps++
 	}
+	if sh.holdWarn > 0 {
+		sh.holdCount--
+		if sh.holdCount < 0 {
+			sh.holdCount = sh.holdEvery - 1
+			t0 = time.Now()
+		}
+	}
+	return t0
 }
 
-// watchHold is the shard-lock hold-time watchdog: deferred right after
-// Lock (so it fires just before Unlock), it books any critical section
-// held past holdWarn — the serving-path symptom of a stalled callback or
-// an injected latency spike.
-func (sh *shard) watchHold(start time.Time) {
-	if sh.holdWarn <= 0 {
-		return
+// exitLocked closes one critical section: it books a lock-hold warning if
+// this operation was sampled and overran the threshold, then unlocks.
+func (sh *shard) exitLocked(t0 time.Time) {
+	if !t0.IsZero() {
+		sh.watchHold(t0)
 	}
+	sh.mu.Unlock()
+}
+
+// watchHold is the shard-lock hold-time watchdog body: called just before
+// Unlock on sampled operations, it books any critical section held past
+// holdWarn — the serving-path symptom of a stalled callback or an
+// injected latency spike.
+func (sh *shard) watchHold(start time.Time) {
 	held := time.Since(start)
 	if held <= sh.holdWarn {
 		return
@@ -172,28 +253,33 @@ func (sh *shard) observe(set int, h uint64) {
 	}
 }
 
-// find scans the set for key, returning its way or -1.
-func (sh *shard) find(set int, key string) int {
+// find scans the set for key, returning its way or -1. The stored in-shard
+// hash rejects non-matching lines on one integer compare; the string
+// compare runs only on a hash match (i.e. almost only on the hit itself).
+func (sh *shard) find(set int, h uint64, key string) int {
 	base := set * sh.ways
 	for w := 0; w < sh.ways; w++ {
-		if sh.valid[base+w] && sh.keys[base+w] == key {
+		if sh.valid[base+w] && sh.hashes[base+w] == h && sh.keys[base+w] == key {
 			return w
 		}
 	}
 	return -1
 }
 
-func (sh *shard) get(h uint64, key string, pd int) ([]byte, bool) {
+// get looks key up and, on a hit, appends the value to dst under the lock
+// (the store's buffers are recycled, so the bytes must be copied out
+// before the lock is released). It returns the extended dst; on a miss dst
+// is returned unchanged.
+func (sh *shard) get(h uint64, key string, pd int, dst []byte) ([]byte, bool) {
 	set := sh.setOf(h)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	defer sh.watchHold(time.Now())
-	sh.enter()
+	t0 := sh.enterLocked()
+	defer sh.exitLocked(t0)
 	sh.st.gets++
-	w := sh.find(set, key)
+	w := sh.find(set, h, key)
 	if w < 0 {
 		sh.observe(set, h)
-		return nil, false
+		return dst, false
 	}
 	sh.st.hits++
 	if sh.doomed != nil && !sh.deg && sh.doomed[set*sh.ways+w] {
@@ -209,7 +295,7 @@ func (sh *shard) get(h uint64, key string, pd int) ([]byte, bool) {
 	}
 	sh.touch(set, w, pd)
 	sh.observe(set, h)
-	return sh.vals[set*sh.ways+w], true
+	return append(dst, sh.vals[set*sh.ways+w]...), true
 }
 
 // touch promotes a hit line under the active policy and refreshes its
@@ -227,20 +313,24 @@ func (sh *shard) touch(set, w, pd int) {
 	sh.last[set*sh.ways+w] = sh.stamp
 }
 
-func (sh *shard) put(h uint64, key string, value []byte, pd int) putResult {
+// put installs val — an owned buffer the caller already copied the value
+// into (Cache.Put routes it through allocBuf, so the copy happened outside
+// the lock). Displaced buffers (update-in-place, evictions, a denied
+// fill's own buffer) are parked on the freelist.
+func (sh *shard) put(h uint64, key string, val []byte, pd int) putResult {
 	set := sh.setOf(h)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	defer sh.watchHold(time.Now())
-	sh.enter()
+	t0 := sh.enterLocked()
+	defer sh.exitLocked(t0)
 	sh.st.puts++
 	var res putResult
 
-	if w := sh.find(set, key); w >= 0 {
+	if w := sh.find(set, h, key); w >= 0 {
 		// Update in place: resident keys are always writable.
 		i := set*sh.ways + w
-		sh.bytes += int64(len(value)) - int64(len(sh.vals[i]))
-		sh.vals[i] = append([]byte(nil), value...)
+		sh.bytes += int64(len(val)) - int64(len(sh.vals[i]))
+		sh.freeBuf(sh.vals[i])
+		sh.vals[i] = val
 		sh.touch(set, w, pd)
 		sh.observe(set, h)
 		return res
@@ -255,6 +345,7 @@ func (sh *shard) put(h uint64, key string, value []byte, pd int) putResult {
 	w := sh.victimWay(set, pd, &res)
 	if w < 0 {
 		sh.deny(set, key, pd, &res)
+		sh.freeBuf(val)
 		return res
 	}
 
@@ -262,10 +353,11 @@ func (sh *shard) put(h uint64, key string, value []byte, pd int) putResult {
 	// fill would overflow; deny when the budget still cannot be met (the
 	// admission-control analogue of bypass for oversized working sets).
 	if sh.maxBytes > 0 {
-		for sh.bytes+int64(len(value)) > sh.maxBytes {
+		for sh.bytes+int64(len(val)) > sh.maxBytes {
 			v := sh.budgetVictim(set, w)
 			if v < 0 {
 				sh.deny(set, key, pd, &res)
+				sh.freeBuf(val)
 				return res
 			}
 			sh.evict(set, v, pd, &res)
@@ -274,9 +366,10 @@ func (sh *shard) put(h uint64, key string, value []byte, pd int) putResult {
 
 	i := set*sh.ways + w
 	sh.keys[i] = key
-	sh.vals[i] = append([]byte(nil), value...)
+	sh.hashes[i] = h
+	sh.vals[i] = val
 	sh.valid[i] = true
-	sh.bytes += int64(len(value))
+	sh.bytes += int64(len(val))
 	sh.st.entries++
 	sh.st.inserts++
 	res.inserted = true
@@ -387,7 +480,8 @@ func (sh *shard) lruVictim(set int) int {
 // evict drops the resident line in (set, w), classifying the eviction:
 // unprotected (RPD expired — the policy's intended victim class) or
 // forced (a still-protected line went because the whole set was
-// protected under AdmitAll).
+// protected under AdmitAll). The victim's value buffer goes back on the
+// freelist.
 func (sh *shard) evict(set, w, pd int, res *putResult) {
 	i := set*sh.ways + w
 	kind := DecisionEvictUnprotected
@@ -410,6 +504,8 @@ func (sh *shard) evict(set, w, pd int, res *putResult) {
 	}
 	sh.bytes -= int64(len(sh.vals[i]))
 	sh.keys[i] = ""
+	sh.hashes[i] = 0
+	sh.freeBuf(sh.vals[i])
 	sh.vals[i] = nil
 	sh.valid[i] = false
 	sh.last[i] = 0
@@ -425,15 +521,16 @@ func (sh *shard) evict(set, w, pd int, res *putResult) {
 func (sh *shard) delete(h uint64, key string) bool {
 	set := sh.setOf(h)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	defer sh.watchHold(time.Now())
-	sh.enter()
+	t0 := sh.enterLocked()
+	defer sh.exitLocked(t0)
 	sh.st.deletes++
-	w := sh.find(set, key)
+	w := sh.find(set, h, key)
 	if w >= 0 {
 		i := set*sh.ways + w
 		sh.bytes -= int64(len(sh.vals[i]))
 		sh.keys[i] = ""
+		sh.hashes[i] = 0
+		sh.freeBuf(sh.vals[i])
 		sh.vals[i] = nil
 		sh.valid[i] = false
 		sh.last[i] = 0
@@ -503,9 +600,13 @@ func (sh *shard) checkInvariants() error {
 				if sh.keys[i] == "" {
 					return fmt.Errorf("valid line (%d,%d) with empty key", set, w)
 				}
+				if want := hash(sh.keys[i]) / uint64(sh.nshards); sh.hashes[i] != want {
+					return fmt.Errorf("line (%d,%d) stored hash %#x != key hash %#x",
+						set, w, sh.hashes[i], want)
+				}
 			} else {
-				if sh.keys[i] != "" || sh.vals[i] != nil {
-					return fmt.Errorf("invalid line (%d,%d) kept key/value", set, w)
+				if sh.keys[i] != "" || sh.vals[i] != nil || sh.hashes[i] != 0 {
+					return fmt.Errorf("invalid line (%d,%d) kept key/value/hash", set, w)
 				}
 				if sh.prot != nil && sh.prot.Protected(set, w) {
 					return fmt.Errorf("invalid line (%d,%d) still protected", set, w)

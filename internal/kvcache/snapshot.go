@@ -178,8 +178,9 @@ func (sh *shard) restore(ss SnapshotShard, nshards int) int {
 		if int(h%uint64(nshards)) != sh.id {
 			continue
 		}
-		set := sh.setOf(h / uint64(nshards))
-		if sh.find(set, e.Key) >= 0 {
+		hh := h / uint64(nshards)
+		set := sh.setOf(hh)
+		if sh.find(set, hh, e.Key) >= 0 {
 			continue
 		}
 		if sh.maxBytes > 0 && sh.bytes+int64(len(e.Value)) > sh.maxBytes {
@@ -198,6 +199,7 @@ func (sh *shard) restore(ss SnapshotShard, nshards int) int {
 		}
 		i := base + w
 		sh.keys[i] = e.Key
+		sh.hashes[i] = hh
 		sh.vals[i] = append([]byte(nil), e.Value...)
 		sh.valid[i] = true
 		sh.bytes += int64(len(e.Value))

@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -379,6 +380,41 @@ func (s *Server) protect(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// kvBufs pools the /kv/ data path's per-request scratch buffer: GET
+// copies the value out of the cache into it (via GetAppend) and PUT reads
+// the request body into it, so the steady-state data path allocates no
+// value-sized buffers at all — each pooled buffer grows to the route's
+// value high-water mark and is reused.
+var kvBufs = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// appendLimited is io.ReadAll with a caller-owned buffer: it reads r to
+// EOF into buf (reusing its capacity, growing as needed) but never past
+// limit bytes, so an oversized body costs bounded memory and the PUT path
+// can reuse a pooled buffer instead of allocating per request.
+func appendLimited(buf []byte, r io.Reader, limit int64) ([]byte, error) {
+	for int64(len(buf)) < limit {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		space := cap(buf) - len(buf)
+		if int64(space) > limit-int64(len(buf)) {
+			space = int(limit - int64(len(buf)))
+		}
+		n, err := r.Read(buf[len(buf) : len(buf)+space])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+	return buf, nil
+}
+
 // handleKV dispatches GET/PUT/DELETE on /kv/{key}.
 func (s *Server) handleKV(w http.ResponseWriter, r *http.Request) {
 	key := strings.TrimPrefix(r.URL.Path, "/kv/")
@@ -388,8 +424,10 @@ func (s *Server) handleKV(w http.ResponseWriter, r *http.Request) {
 	}
 	switch r.Method {
 	case http.MethodGet:
-		val, ok := s.cache.Get(key)
+		bp := kvBufs.Get().(*[]byte)
+		val, ok := s.cache.GetAppend(key, (*bp)[:0])
 		if !ok {
+			kvBufs.Put(bp)
 			w.Header().Set("X-Cache", "miss")
 			http.Error(w, "not found", http.StatusNotFound)
 			return
@@ -397,17 +435,26 @@ func (s *Server) handleKV(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Cache", "hit")
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Write(val)
+		// net/http has copied val into its own write buffer by now.
+		*bp = val[:0]
+		kvBufs.Put(bp)
 	case http.MethodPut, http.MethodPost:
-		body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxValueBytes+1))
+		bp := kvBufs.Get().(*[]byte)
+		body, err := appendLimited((*bp)[:0], r.Body, s.cfg.MaxValueBytes+1)
+		*bp = body[:0]
 		if err != nil {
+			kvBufs.Put(bp)
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		if int64(len(body)) > s.cfg.MaxValueBytes {
+			kvBufs.Put(bp)
 			http.Error(w, "value too large", http.StatusRequestEntityTooLarge)
 			return
 		}
-		if !s.cache.Put(key, body) {
+		admitted := s.cache.Put(key, body)
+		kvBufs.Put(bp)
+		if !admitted {
 			// Admission denied: the policy judged the key not worth caching
 			// right now. 204 tells the client the write was handled but not
 			// stored — cache-aside clients treat it like a successful set.

@@ -18,9 +18,11 @@ package loadgen
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"strings"
@@ -148,6 +150,36 @@ func (r Result) Throughput() float64 {
 		return 0
 	}
 	return float64(r.Ops) / r.Duration.Seconds()
+}
+
+// finite clamps non-finite values (NaN, ±Inf — what an unguarded zero
+// denominator produces) to 0. encoding/json refuses to encode NaN or Inf
+// and fails the whole document, so every derived ratio passes through
+// here before entering the JSON report.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// MarshalJSON emits the raw counters plus the derived ratios — hit_rate,
+// availability, throughput_ops_s — precomputed and NaN-proofed, so the
+// `pdpload -json` report stays valid JSON even for an all-shed or
+// zero-operation run.
+func (r Result) MarshalJSON() ([]byte, error) {
+	type plain Result // drops the method set, avoiding recursion
+	return json.Marshal(struct {
+		plain
+		HitRate        float64 `json:"hit_rate"`
+		Availability   float64 `json:"availability"`
+		ThroughputOpsS float64 `json:"throughput_ops_s"`
+	}{
+		plain:          plain(r),
+		HitRate:        finite(r.HitRate()),
+		Availability:   finite(r.Availability()),
+		ThroughputOpsS: finite(r.Throughput()),
+	})
 }
 
 // Run replays the mix until every worker finishes its ops or ctx is

@@ -2,6 +2,8 @@ package loadgen
 
 import (
 	"context"
+	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -91,5 +93,63 @@ func TestRunAgainstDeadServer(t *testing.T) {
 	}
 	if res.Errors == 0 {
 		t.Fatal("no errors recorded against a dead server")
+	}
+}
+
+// TestAllShedResultJSON is the divide-by-zero regression test for the
+// client math: a run where every request is shed records zero hits,
+// zero misses and zero completed ops, and the JSON report must still be
+// valid — finite hit_rate, availability and throughput_ops_s — instead
+// of a NaN that encoding/json refuses to serialize.
+func TestAllShedResultJSON(t *testing.T) {
+	shedder := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer shedder.Close()
+
+	res, err := Run(context.Background(), Config{
+		BaseURL: shedder.URL,
+		Mix:     workload.ServiceConfig{Keys: 16, ZipfS: 0.8, ValueBytes: 8},
+		Workers: 2,
+		Ops:     20,
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sheds == 0 {
+		t.Fatal("all-503 server recorded no sheds")
+	}
+	if res.Hits+res.Misses != 0 {
+		t.Fatalf("all-shed run recorded %d definitive GET answers", res.Hits+res.Misses)
+	}
+
+	assertFiniteJSON(t, res)
+	assertFiniteJSON(t, Result{})                       // zero-op run
+	assertFiniteJSON(t, Result{Duration: -time.Second}) // clock went backwards
+	assertFiniteJSON(t, Result{Ops: 1, Duration: 0})    // 1/0 throughput
+}
+
+// assertFiniteJSON marshals a Result and verifies the derived ratio
+// fields exist and are finite numbers.
+func assertFiniteJSON(t *testing.T, r Result) {
+	t.Helper()
+	out, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("Result %+v does not marshal: %v", r, err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(out, &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, out)
+	}
+	for _, field := range []string{"hit_rate", "availability", "throughput_ops_s"} {
+		v, ok := decoded[field].(float64)
+		if !ok {
+			t.Fatalf("report missing derived field %q:\n%s", field, out)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s = %v is not finite", field, v)
+		}
 	}
 }

@@ -256,10 +256,11 @@ func FullConfig(cacheSets, sc int) Config {
 	}
 }
 
-type fifoEntry struct {
-	tag   uint16
-	valid bool
-}
+// FIFO entries are bare 16-bit partial tags, exactly the modeled SRAM:
+// tag 0 is reserved (partialTag never produces it), so 0 doubles as the
+// empty/invalidated slot marker and the scan loop needs no separate
+// valid bit. 2-byte entries also keep a 32-deep FIFO in one cache line.
+type fifoEntry = uint16
 
 // Stats counts sampler activity; read it directly, like cache.Stats. The
 // counters are cumulative over the sampler's lifetime (Reset does not
@@ -394,11 +395,15 @@ func (s *RDSampler) AccessInto(set int, addr uint64, arr *CounterArray) {
 	tag := partialTag(addr)
 
 	// Search from most recent insertion to oldest; position of the most
-	// recent match gives the RD.
+	// recent match gives the RD. The index walks backward with an explicit
+	// wrap instead of a per-probe modulo — this loop runs under the shard
+	// lock on every sampled serving access.
+	idx := head - 1
+	if idx < 0 {
+		idx += depth
+	}
 	for n := 0; n < depth; n++ {
-		idx := (head - 1 - n + 2*depth) % depth
-		e := &fifo[idx]
-		if e.valid && e.tag == tag {
+		if fifo[idx] == tag {
 			// Paper formula RD = n*M + t counts intervening accesses; the
 			// repository convention counts the access-index difference
 			// (back-to-back reuse has RD 1), hence the +1.
@@ -406,9 +411,13 @@ func (s *RDSampler) AccessInto(set int, addr uint64, arr *CounterArray) {
 			s.Stats.Hits++
 			arr.RecordHit(rd)
 			// Invalidate to reduce RD measurement error (paper Sec. 3).
-			e.valid = false
+			fifo[idx] = 0
 			break
 		}
+		if idx == 0 {
+			idx = depth
+		}
+		idx--
 	}
 
 	// Insert a new entry roughly every M-th access. The threshold is
@@ -420,15 +429,18 @@ func (s *RDSampler) AccessInto(set int, addr uint64, arr *CounterArray) {
 	t++
 	if t >= s.thresh[slot] {
 		t = 0
-		if fifo[head].valid {
+		if fifo[head] != 0 {
 			s.Stats.Evictions++
 			if s.OnFIFOEvict != nil {
 				s.OnFIFOEvict(slot)
 			}
 		}
 		s.Stats.Inserts++
-		fifo[head] = fifoEntry{tag: tag, valid: true}
-		s.heads[slot] = (head + 1) % depth
+		fifo[head] = tag
+		if head++; head == depth {
+			head = 0
+		}
+		s.heads[slot] = head
 		if m := s.cfg.InsertRate; m >= 2 {
 			s.thresh[slot] = m - 1 + int(s.rng.Uint64()%3)
 		}
@@ -447,7 +459,7 @@ func (s *RDSampler) ResetStats() { s.Stats = Stats{} }
 func (s *RDSampler) Reset() {
 	for i := range s.fifos {
 		for j := range s.fifos[i] {
-			s.fifos[i][j] = fifoEntry{}
+			s.fifos[i][j] = 0
 		}
 		s.heads[i] = 0
 		s.counts[i] = 0

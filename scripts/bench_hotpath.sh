@@ -1,0 +1,147 @@
+#!/bin/sh
+# Benchmark the serving hot path and record the evidence into
+# BENCH_hotpath.json:
+#
+#   1. kvcache shard microbenchmarks (GET hit/miss, GetAppend, PUT
+#      update/churn) — min ns/op and allocs/op over three runs, next to
+#      the committed pre-overhaul baseline so the before/after delta is
+#      part of the artifact;
+#   2. the shards sweep under GOMAXPROCS 1/2/4 (the -shards knob's
+#      scaling evidence);
+#   3. end-to-end pdpload runs at 1/4/16 workers against a live
+#      pdpcached — throughput and client-observed p99.
+#
+# Usage: scripts/bench_hotpath.sh [ops-per-worker]
+set -eu
+
+ops="${1:-20000}"
+benchtime="${BENCHTIME:-300ms}"
+addr="127.0.0.1:7219"
+
+cd "$(dirname "$0")/.."
+
+# --- 1. shard microbenchmarks (best of 3) ------------------------------
+echo "running hot-path microbenchmarks (benchtime $benchtime x3)..."
+go test -run @ -bench 'HotPath' -benchtime "$benchtime" -count 3 \
+    ./internal/kvcache/ > /tmp/pdp-hotpath-micro.txt
+go test -run @ -bench 'ShardsSweep' -benchtime "$benchtime" -cpu 1,2,4 \
+    ./internal/kvcache/ > /tmp/pdp-hotpath-sweep.txt
+
+micro() { # micro <name> -> "ns_op allocs_op" (min ns/op across counts)
+    # GOMAXPROCS=1 runs omit the -N procs suffix from benchmark names.
+    awk -v want="$1" '
+        $1 ~ ("^BenchmarkHotPath" want "(-[0-9]+)?$") {
+            ns = ""; al = ""
+            for (i = 1; i <= NF; i++) {
+                if ($(i+1) == "ns/op") ns = $i
+                if ($(i+1) == "allocs/op") al = $i
+            }
+            if (ns != "" && (best == "" || ns + 0 < best + 0)) { best = ns; alloc = al }
+        }
+        END {
+            if (best == "") exit 1
+            printf "%s %s", best, alloc
+        }' /tmp/pdp-hotpath-micro.txt
+}
+
+sweep() { # sweep <shards> <cpu> -> ns_op
+    suffix="-$2"
+    [ "$2" = 1 ] && suffix="" # GOMAXPROCS=1 runs have no -N suffix
+    awk -v want="^BenchmarkShardsSweep/shards=$1$suffix\$" '
+        $1 ~ want {
+            for (i = 1; i <= NF; i++) if ($(i+1) == "ns/op") { printf "%s", $i; exit }
+        }' /tmp/pdp-hotpath-sweep.txt
+}
+
+# Pre-overhaul baseline, measured at commit 9d0b453 with the same
+# benchmarks (best of 3 x 300ms, single core). GetHit then returned an
+# alias into the shard; it now returns a caller-owned copy, so its one
+# alloc/op buys a use-after-evict safety the baseline did not have.
+# GetAppend did not exist before the overhaul.
+baseline() { # baseline <name> -> "ns_op allocs_op" or ""
+    case "$1" in
+    GetHit)    echo "223.1 0" ;;
+    GetMiss)   echo "215.1 0" ;;
+    PutUpdate) echo "290.4 1" ;;
+    PutChurn)  echo "433.2 1" ;;
+    *)         echo "" ;;
+    esac
+}
+
+json="{\n  \"benchtime\": \"$benchtime x3 (min)\",\n  \"baseline_commit\": \"9d0b453\","
+json="$json\n  \"microbench_ns_op\": {"
+first=1
+for name in GetHit GetAppend GetMiss PutUpdate PutChurn; do
+    set -- $(micro "$name")
+    ns="$1"; al="$2"
+    [ "$first" = 1 ] || json="$json,"
+    first=0
+    base=$(baseline "$name")
+    if [ -n "$base" ]; then
+        set -- $base
+        json="$json\n    \"$name\": {\"before_ns_op\": $1, \"before_allocs_op\": $2, \"ns_op\": $ns, \"allocs_op\": $al}"
+        echo "$name: $1 -> $ns ns/op, $2 -> $al allocs/op"
+    else
+        json="$json\n    \"$name\": {\"ns_op\": $ns, \"allocs_op\": $al}"
+        echo "$name: $ns ns/op, $al allocs/op (no pre-overhaul counterpart)"
+    fi
+done
+json="$json\n  },"
+
+# --- 2. shards sweep across GOMAXPROCS ---------------------------------
+json="$json\n  \"shards_sweep_ns_op\": {"
+firsts=1
+for shards in 1 4 16 64; do
+    [ "$firsts" = 1 ] || json="$json,"
+    firsts=0
+    line=""
+    for cpu in 1 2 4; do
+        ns=$(sweep "$shards" "$cpu")
+        [ -n "$ns" ] || ns=null
+        [ -z "$line" ] || line="$line, "
+        line="$line\"gomaxprocs_$cpu\": $ns"
+    done
+    json="$json\n    \"shards_$shards\": {$line}"
+    echo "shards=$shards: $line"
+done
+json="$json\n  },"
+
+# --- 3. end-to-end: pdpload vs a live pdpcached ------------------------
+go build -o /tmp/pdp-hotpath-cached ./cmd/pdpcached
+go build -o /tmp/pdp-hotpath-load ./cmd/pdpload
+
+/tmp/pdp-hotpath-cached -addr "$addr" -policy pdp \
+    -shards 16 -sets 64 -ways 8 -recompute-every 8192 \
+    -adapt-every 250ms 2>/dev/null &
+server_pid=$!
+trap 'kill "$server_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+    if curl -fs "http://$addr/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+
+field() { # field <json-file> <key>
+    sed -n "s/^.*\"$2\": *\([0-9.]*\).*$/\1/p" "$1" | head -1
+}
+
+json="$json\n  \"serving\": {"
+firstw=1
+for workers in 1 4 16; do
+    out="/tmp/pdp-hotpath-w$workers.json"
+    /tmp/pdp-hotpath-load -url "http://$addr" -mix zipf-loop -keys 300 \
+        -zipf 0.8 -seed 42 -workers "$workers" -ops "$ops" -json > "$out"
+    tput=$(awk -v o="$(field "$out" ops)" -v d="$(field "$out" duration_ns)" \
+        'BEGIN { printf "%.0f", (d > 0) ? o / (d / 1e9) : 0 }')
+    p99=$(field "$out" p99_latency_us)
+    [ "$firstw" = 1 ] || json="$json,"
+    firstw=0
+    json="$json\n    \"workers_$workers\": {\"ops_per_s\": $tput, \"p99_latency_us\": $p99}"
+    echo "workers=$workers: $tput ops/s, p99 $p99 us"
+done
+kill "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+trap - EXIT
+
+json="$json\n  }\n}"
+printf "$json\n" > BENCH_hotpath.json
+echo "wrote BENCH_hotpath.json"
