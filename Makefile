@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-overhead bench-parallel bench-serve bench-hotpath bench-alloc repro repro-parallel fuzz faultcamp serve loadtest scrape serve-smoke chaos clean
+.PHONY: check build vet test race bench bench-overhead bench-parallel bench-serve bench-hotpath bench-alloc repro repro-parallel fuzz faultcamp serve loadtest scrape serve-smoke chaos cluster cluster-smoke clean
 
 # check is the CI gate: build, vet, race-enabled tests.
 check: build vet race
@@ -52,7 +52,7 @@ scrape:
 # then the middleware overhead guard without it.
 serve-smoke:
 	$(GO) build ./cmd/pdpcached ./cmd/pdpload ./cmd/promlint
-	$(GO) test -race -count=1 ./internal/kvcache/ ./internal/kvserver/ ./internal/loadgen/
+	$(GO) test -race -count=1 ./internal/kvcache/ ./internal/kvserver/ ./internal/loadgen/ ./internal/cluster/
 	$(GO) test -count=1 -run TestMiddlewareOverheadBudget -v ./internal/kvserver/
 	$(GO) test -count=1 -run 'AllocBudget' -v ./internal/kvcache/
 
@@ -87,6 +87,25 @@ fuzz:
 # robustness metrics, and warm-restart from its crash-safe snapshot.
 chaos:
 	./scripts/chaos_smoke.sh
+
+# Clustered serving: boot a local 3-node consistent-hash tier on
+# :7231-:7233 (kill with ctrl-C; each node proxies non-owned keys to
+# their owner and probes its peers for ring ejection/rejoin).
+cluster:
+	$(GO) build -o /tmp/pdp-cluster-cached ./cmd/pdpcached
+	/tmp/pdp-cluster-cached -addr 127.0.0.1:7231 -node-id http://127.0.0.1:7231 \
+		-cluster -peers http://127.0.0.1:7231,http://127.0.0.1:7232,http://127.0.0.1:7233 & \
+	/tmp/pdp-cluster-cached -addr 127.0.0.1:7232 -node-id http://127.0.0.1:7232 \
+		-cluster -peers http://127.0.0.1:7231,http://127.0.0.1:7232,http://127.0.0.1:7233 & \
+	/tmp/pdp-cluster-cached -addr 127.0.0.1:7233 -node-id http://127.0.0.1:7233 \
+		-cluster -peers http://127.0.0.1:7231,http://127.0.0.1:7232,http://127.0.0.1:7233 & \
+	wait
+
+# Cluster smoke: cluster tests under -race, then a live 3-node tier under
+# multi-target load — ownership agreement, kill-one-node availability
+# >= 99%, ring ejection/rebalance, restart + rejoin.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # Short fault campaign: clean vs injected run + graceful-degradation checks.
 faultcamp:

@@ -33,6 +33,16 @@
 // at shutdown, -resume warm-starts from it, and -inject drives seeded
 // serving-path chaos (see internal/faultinject's grammar).
 //
+// Clustering: -cluster with -peers (every member's base URL) and
+// -node-id (this node's URL as listed) turns N processes into one
+// consistent-hash tier. Keys are owned by exactly one node; GETs for
+// non-owned keys are proxied to the owner through a singleflight fill
+// table (N concurrent misses cost one fetch), mutations are forwarded
+// directly, and a health-probe loop ejects dead peers from the ring
+// (-eject-after failed rounds) and rejoins them on recovery
+// (-rejoin-after successes). GET /cluster/ring shows membership,
+// aliveness and — with ?key=K — the owner K resolves to.
+//
 // SIGINT/SIGTERM shuts down gracefully: in-flight requests drain, the
 // journal flushes, and the final stats line prints to stderr.
 package main
@@ -46,8 +56,10 @@ import (
 	"io/fs"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	"pdp/internal/cluster"
 	"pdp/internal/faultinject"
 	"pdp/internal/kvcache"
 	"pdp/internal/kvserver"
@@ -93,6 +105,16 @@ func main() {
 	snapshotStateEvery := flag.Duration("snapshot-state-every", 30*time.Second, "cache-state snapshot period (needs -snapshot)")
 	resume := flag.Bool("resume", false, "warm-start from the -snapshot file when present (geometry mismatch cold-starts with a warning)")
 	inject := flag.String("inject", "", "seeded serving-path fault injection, e.g. recompute.panic=0.2,latency.spike=1e-3,seed=7")
+	clusterOn := flag.Bool("cluster", false, "enable consistent-hash peer routing (needs -peers and -node-id)")
+	peers := flag.String("peers", "", "comma-separated base URLs of every cluster member, including this node")
+	nodeID := flag.String("node-id", "", "this node's base URL exactly as listed in -peers")
+	vnodes := flag.Int("vnodes", 64, "virtual points per member on the hash ring")
+	clusterSeed := flag.Uint64("cluster-seed", 1, "ring placement seed; must match on every member")
+	probeEvery := flag.Duration("probe-every", time.Second, "peer health-probe period")
+	probeTimeout := flag.Duration("probe-timeout", 500*time.Millisecond, "per-probe budget")
+	ejectAfter := flag.Int("eject-after", 3, "consecutive failed probe rounds before a peer is ejected from the ring")
+	rejoinAfter := flag.Int("rejoin-after", 2, "consecutive successful probes before an ejected peer rejoins")
+	peerTimeout := flag.Duration("peer-timeout", 2*time.Second, "per-exchange budget for proxied peer requests")
 	flag.Parse()
 
 	// Interval flags: zero or negative periods are configuration errors,
@@ -188,8 +210,43 @@ func main() {
 		}
 	}
 
+	var clust *cluster.Cluster
+	if *clusterOn {
+		if *peers == "" || *nodeID == "" {
+			fail(2, "-cluster needs -peers and -node-id")
+		}
+		var members []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(strings.TrimSuffix(p, "/")); p != "" {
+				members = append(members, p)
+			}
+		}
+		clust, err = cluster.New(cluster.Config{
+			Self:          strings.TrimSuffix(*nodeID, "/"),
+			Peers:         members,
+			VNodes:        *vnodes,
+			Seed:          *clusterSeed,
+			ProbeEvery:    *probeEvery,
+			ProbeTimeout:  *probeTimeout,
+			EjectAfter:    *ejectAfter,
+			RejoinAfter:   *rejoinAfter,
+			FetchTimeout:  *peerTimeout,
+			MaxValueBytes: *maxValue + 4096,
+			Registry:      reg,
+			Journal:       journal,
+		})
+		if err != nil {
+			fail(2, "%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "pdpcached: cluster node %s in a %d-member ring (vnodes=%d seed=%d)\n",
+			clust.Self(), len(members), *vnodes, *clusterSeed)
+	} else if *peers != "" || *nodeID != "" {
+		fail(2, "-peers/-node-id need -cluster")
+	}
+
 	srv, err := kvserver.New(cache, kvserver.Config{
 		Addr:            *addr,
+		Cluster:         clust,
 		MaxValueBytes:   *maxValue,
 		AdaptEvery:      *adaptEvery,
 		SnapshotEvery:   *snapshotEvery,

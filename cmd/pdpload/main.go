@@ -34,6 +34,7 @@ func fail(code int, format string, args ...any) {
 
 func main() {
 	url := flag.String("url", "http://127.0.0.1:7070", "server base URL")
+	urls := flag.String("urls", "", "comma-separated base URLs to drive round-robin (a cluster); overrides -url and enables per-target attribution")
 	mixName := flag.String("mix", "zipf-loop", "request mix preset")
 	workers := flag.Int("workers", 1, "concurrent client workers (0 = GOMAXPROCS)")
 	ops := flag.Int("ops", 20000, "operations per worker")
@@ -45,6 +46,7 @@ func main() {
 	scanLen := flag.Int("scan-len", -1, "override: keys per scan burst")
 	scanLoop := flag.Int("scan-loop", -1, "override: cyclic scan pool size (0 = never-reused scans)")
 	retries := flag.Int("retries", 2, "retry shed (503) and transport-failed requests this many times (capped backoff + jitter)")
+	rampRetries := flag.Int("ramp-retries", 8, "separate retry budget for connection-refused attempts (a booting or just-killed node)")
 	deadline := flag.Duration("deadline", 0, "per-request budget, sent as X-Deadline and enforced client-side (0 = none)")
 	jsonOut := flag.Bool("json", false, "print the result as JSON")
 	flag.Parse()
@@ -92,15 +94,23 @@ func main() {
 
 	ctx, stop := resilience.WithShutdown(context.Background())
 	defer stop()
+	var targets []string
+	for _, u := range strings.Split(*urls, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			targets = append(targets, u)
+		}
+	}
 	res, err := loadgen.Run(ctx, loadgen.Config{
-		BaseURL:  *url,
-		Mix:      mix,
-		Workers:  *workers,
-		Ops:      *ops,
-		Seed:     *seed,
-		Retries:  *retries,
-		Deadline: *deadline,
-		Registry: telemetry.NewRegistry(),
+		BaseURL:     *url,
+		Targets:     targets,
+		Mix:         mix,
+		Workers:     *workers,
+		Ops:         *ops,
+		Seed:        *seed,
+		Retries:     *retries,
+		RampRetries: *rampRetries,
+		Deadline:    *deadline,
+		Registry:    telemetry.NewRegistry(),
 	})
 	if err != nil && res.Ops == 0 {
 		fail(1, "%v", err)
@@ -124,7 +134,20 @@ func main() {
 	fmt.Printf("transport    %d\n", res.Transport)
 	fmt.Printf("server-5xx   %d\n", res.Server5xx)
 	fmt.Printf("retries      %d\n", res.Retries)
+	fmt.Printf("refused      %d\n", res.Refused)
 	fmt.Printf("errors       %d\n", res.Errors)
+	if len(res.PerTarget) > 0 {
+		tgts := make([]string, 0, len(res.PerTarget))
+		for tgt := range res.PerTarget {
+			tgts = append(tgts, tgt)
+		}
+		sort.Strings(tgts)
+		for _, tgt := range tgts {
+			tr := res.PerTarget[tgt]
+			fmt.Printf("target %-28s answers=%d hit_rate=%.4f sheds=%d errors=%d mean=%.1fus p99=%.1fus\n",
+				tgt, tr.Answers, tr.HitRate, tr.Sheds, tr.Errors, tr.MeanLatencyUS, tr.P99LatencyUS)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pdpload: interrupted: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"pdp/internal/telemetry"
+)
+
+// HopHeader marks a request already forwarded once by a cluster node.
+// A node receiving it serves locally no matter what its ring says, so
+// two nodes with momentarily divergent ring views (one has ejected a
+// member the other still trusts) bounce a request at most once instead
+// of proxying it in a cycle.
+const HopHeader = "X-Cluster-Hop"
+
+// ErrPeerDown reports a peer whose breaker is open: recent requests to
+// it failed, so callers should fall back (serve locally) instead of
+// paying another connect timeout.
+var ErrPeerDown = errors.New("cluster: peer breaker open")
+
+// breaker is a per-peer circuit breaker in the servefault style:
+// consecutive failures past a threshold open it; after a cooldown one
+// probe request is let through (half-open), and its outcome closes or
+// re-opens the circuit.
+type breaker struct {
+	limit    int
+	cooldown time.Duration
+
+	mu      sync.Mutex
+	fails   int
+	open    bool
+	until   time.Time
+	probing bool
+}
+
+// allow reports whether a request may proceed. In the open state it
+// admits exactly one probe per cooldown window.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.probing || time.Now().Before(b.until) {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.fails = 0
+	b.open = false
+	b.probing = false
+	b.mu.Unlock()
+}
+
+func (b *breaker) failure() {
+	b.mu.Lock()
+	b.fails++
+	b.probing = false
+	if b.fails >= b.limit {
+		b.open = true
+		b.until = time.Now().Add(b.cooldown)
+	}
+	b.mu.Unlock()
+}
+
+func (b *breaker) isOpen() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}
+
+// PeerResponse is one peer exchange's result, buffered so a singleflight
+// fetch can hand the same response to every coalesced caller.
+type PeerResponse struct {
+	// Status is the peer's HTTP status code.
+	Status int
+	// XCache is the peer's X-Cache header (hit | miss | deny).
+	XCache string
+	// Body is the full response body (the value on 200).
+	Body []byte
+}
+
+// Peer is the client side of one cluster member: a pooled HTTP client,
+// the per-peer breaker, and per-peer labeled telemetry.
+type Peer struct {
+	id   string // node id == base URL, e.g. "http://127.0.0.1:8081"
+	hc   *http.Client
+	br   *breaker
+	maxB int64
+
+	mReqs *telemetry.Counter
+	mErrs *telemetry.Counter
+	hLat  *telemetry.Histogram
+	gOpen *telemetry.Gauge
+}
+
+// newPeer builds the client for one member. The http.Client shares the
+// cluster's pooled transport; timeout is the per-exchange cap (the
+// request ctx may shorten it further).
+func newPeer(id string, tr *http.Transport, timeout time.Duration, maxBody int64, reg *telemetry.Registry) *Peer {
+	lbl := telemetry.Label("peer", id)
+	return &Peer{
+		id:   id,
+		hc:   &http.Client{Transport: tr, Timeout: timeout},
+		br:   &breaker{limit: 3, cooldown: 500 * time.Millisecond},
+		maxB: maxBody,
+
+		mReqs: reg.Counter("cluster.peer_requests{" + lbl + "}"),
+		mErrs: reg.Counter("cluster.peer_errors{" + lbl + "}"),
+		hLat:  reg.Histogram("cluster.peer_latency_ns{" + lbl + "}"),
+		gOpen: reg.Gauge("cluster.peer_breaker_open{" + lbl + "}"),
+	}
+}
+
+// ID returns the peer's node id.
+func (p *Peer) ID() string { return p.id }
+
+// BreakerOpen reports the breaker state (tests and /stats).
+func (p *Peer) BreakerOpen() bool { return p.br.isOpen() }
+
+// do issues one exchange against the peer's /kv/ route, buffering the
+// response. Transport failures and 5xx answers count against the
+// breaker; orderly answers (2xx/404, and 503 sheds — the peer is alive,
+// just busy) reset it.
+func (p *Peer) do(ctx context.Context, method, key string, body []byte) (*PeerResponse, error) {
+	if !p.br.allow() {
+		p.gOpen.Set(1)
+		return nil, ErrPeerDown
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, p.id+"/kv/"+key, rd)
+	if err != nil {
+		p.br.failure()
+		return nil, err
+	}
+	req.Header.Set(HopHeader, "1")
+	p.mReqs.Inc()
+	t0 := time.Now()
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		p.mErrs.Inc()
+		p.br.failure()
+		p.gOpen.Set(boolGauge(p.br.isOpen()))
+		return nil, err
+	}
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, p.maxB+1))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	p.hLat.Observe(uint64(time.Since(t0).Nanoseconds()))
+	if err != nil {
+		p.mErrs.Inc()
+		p.br.failure()
+		p.gOpen.Set(boolGauge(p.br.isOpen()))
+		return nil, err
+	}
+	if int64(len(buf)) > p.maxB {
+		p.mErrs.Inc()
+		p.br.failure()
+		return nil, fmt.Errorf("cluster: peer %s response exceeds %d bytes", p.id, p.maxB)
+	}
+	if resp.StatusCode >= 500 && resp.StatusCode != http.StatusServiceUnavailable {
+		// A 5xx (other than an orderly shed) is the peer misbehaving.
+		p.mErrs.Inc()
+		p.br.failure()
+	} else {
+		p.br.success()
+	}
+	p.gOpen.Set(boolGauge(p.br.isOpen()))
+	return &PeerResponse{
+		Status: resp.StatusCode,
+		XCache: resp.Header.Get("X-Cache"),
+		Body:   buf,
+	}, nil
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

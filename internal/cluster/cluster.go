@@ -1,0 +1,407 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"pdp/internal/resilience"
+	"pdp/internal/telemetry"
+)
+
+// Config parameterizes a cluster node.
+type Config struct {
+	// Self is this node's id — its advertised base URL, exactly as it
+	// appears in Peers (e.g. "http://127.0.0.1:8081").
+	Self string
+	// Peers is the static member list: every node's base URL, including
+	// Self. Order does not matter; every node must be given the same set.
+	Peers []string
+	// VNodes is the number of virtual points per member (default 64).
+	VNodes int
+	// Seed fixes the ring placement; every member must share it
+	// (default 1).
+	Seed uint64
+
+	// ProbeEvery is the health-probe period per peer (default 1s).
+	ProbeEvery time.Duration
+	// ProbeTimeout bounds one /healthz probe (default 500ms).
+	ProbeTimeout time.Duration
+	// EjectAfter ejects a peer from the ring after that many consecutive
+	// failed probe rounds (default 3); RejoinAfter rejoins it after that
+	// many consecutive successes (default 2).
+	EjectAfter, RejoinAfter int
+
+	// FetchTimeout bounds one proxied exchange to a peer (default 2s).
+	FetchTimeout time.Duration
+	// MaxValueBytes caps a peer response body (default 1 MiB + headroom).
+	MaxValueBytes int64
+
+	// Registry and Journal receive cluster telemetry (both optional):
+	// per-peer labeled request/error/latency/breaker series, routing
+	// counters, and one MembershipRecord per ring transition.
+	Registry *telemetry.Registry
+	Journal  *telemetry.Journal
+}
+
+func (c *Config) setDefaults() error {
+	if c.Self == "" {
+		return fmt.Errorf("cluster: Self required")
+	}
+	if len(c.Peers) == 0 {
+		return fmt.Errorf("cluster: Peers required")
+	}
+	if c.VNodes == 0 {
+		c.VNodes = 64
+	}
+	if c.VNodes < 0 {
+		return fmt.Errorf("cluster: VNodes must be positive, got %d", c.VNodes)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.ProbeEvery == 0 {
+		c.ProbeEvery = time.Second
+	}
+	if c.ProbeEvery < 0 {
+		return fmt.Errorf("cluster: ProbeEvery must be positive, got %v", c.ProbeEvery)
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 500 * time.Millisecond
+	}
+	if c.EjectAfter == 0 {
+		c.EjectAfter = 3
+	}
+	if c.RejoinAfter == 0 {
+		c.RejoinAfter = 2
+	}
+	if c.EjectAfter < 0 || c.RejoinAfter < 0 {
+		return fmt.Errorf("cluster: EjectAfter=%d RejoinAfter=%d must be positive", c.EjectAfter, c.RejoinAfter)
+	}
+	if c.FetchTimeout <= 0 {
+		c.FetchTimeout = 2 * time.Second
+	}
+	if c.MaxValueBytes <= 0 {
+		c.MaxValueBytes = 1<<20 + 4096
+	}
+	return nil
+}
+
+// Cluster is one node's view of the tier: the shared ring, a client per
+// remote peer, the singleflight fill table, and the probe loop that
+// drives ejection/rejoin.
+type Cluster struct {
+	cfg    Config
+	ring   *Ring
+	peers  map[string]*Peer // remote members only
+	flight Flight
+
+	probeCancel context.CancelFunc
+	probeDone   chan struct{}
+	probeHC     *http.Client
+
+	// per-peer consecutive probe outcomes (guarded by pmu).
+	pmu      sync.Mutex
+	failRun  map[string]int
+	okRun    map[string]int
+	peerUp   map[string]*telemetry.Gauge
+	mProxied *telemetry.Counter
+	mCoal    *telemetry.Counter
+	mFills   *telemetry.Counter
+	mFallbk  *telemetry.Counter
+	mLoops   *telemetry.Counter
+	mEjects  *telemetry.Counter
+	mRejoins *telemetry.Counter
+	gAlive   *telemetry.Gauge
+}
+
+// New validates cfg, builds the ring and the peer clients. Start begins
+// probing; until then every configured member counts alive.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	ring, err := NewRing(cfg.Seed, cfg.VNodes, cfg.Peers)
+	if err != nil {
+		return nil, err
+	}
+	if ring.index(cfg.Self) < 0 {
+		return nil, fmt.Errorf("cluster: Self %q not in Peers %v", cfg.Self, ring.Members())
+	}
+	// One pooled transport for all peers: proxied traffic reuses
+	// connections instead of paying a dial per request.
+	tr := &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 64,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	reg := cfg.Registry
+	c := &Cluster{
+		cfg:     cfg,
+		ring:    ring,
+		peers:   make(map[string]*Peer),
+		probeHC: &http.Client{Transport: tr, Timeout: cfg.ProbeTimeout},
+		failRun: make(map[string]int),
+		okRun:   make(map[string]int),
+		peerUp:  make(map[string]*telemetry.Gauge),
+
+		mProxied: reg.Counter("cluster.proxied"),
+		mCoal:    reg.Counter("cluster.singleflight_coalesced"),
+		mFills:   reg.Counter("cluster.singleflight_fills"),
+		mFallbk:  reg.Counter("cluster.fallback_local"),
+		mLoops:   reg.Counter("cluster.hop_terminated"),
+		mEjects:  reg.Counter("cluster.ring_ejections"),
+		mRejoins: reg.Counter("cluster.ring_rejoins"),
+		gAlive:   reg.Gauge("cluster.members_alive"),
+	}
+	for _, m := range ring.Members() {
+		if m == cfg.Self {
+			continue
+		}
+		c.peers[m] = newPeer(m, tr, cfg.FetchTimeout, cfg.MaxValueBytes, reg)
+		up := reg.Gauge("cluster.peer_up{" + telemetry.Label("peer", m) + "}")
+		up.Set(1)
+		c.peerUp[m] = up
+	}
+	c.gAlive.Set(float64(ring.AliveCount()))
+	return c, nil
+}
+
+// Self returns this node's id.
+func (c *Cluster) Self() string { return c.cfg.Self }
+
+// Ring returns the node's ring (shared, concurrency-safe).
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Peer returns the client for a remote member (nil for Self/unknowns).
+func (c *Cluster) Peer(id string) *Peer { return c.peers[id] }
+
+// Owner resolves key's owner. local reports owner == Self; ok is false
+// only when every member (including Self) is marked dead, which the
+// probe loop never does to Self.
+func (c *Cluster) Owner(key string) (owner string, local, ok bool) {
+	owner, ok = c.ring.Owner(key)
+	return owner, ok && owner == c.cfg.Self, ok
+}
+
+// --- proxying ----------------------------------------------------------
+
+// FetchGet performs the singleflighted proxy GET for key against its
+// owner: N concurrent callers for one (owner, key) pair cost exactly one
+// peer exchange. The returned response is shared — read-only.
+func (c *Cluster) FetchGet(ctx context.Context, owner, key string) (*PeerResponse, error) {
+	p := c.peers[owner]
+	if p == nil {
+		return nil, fmt.Errorf("cluster: no client for %q", owner)
+	}
+	c.mProxied.Inc()
+	resp, err, shared := c.flight.Do(owner+"\x00"+key, func() (*PeerResponse, error) {
+		// The fetch is shared by every coalesced caller, so it must not
+		// die with the first caller's context; it runs under its own
+		// FetchTimeout budget instead.
+		fctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), c.cfg.FetchTimeout)
+		defer cancel()
+		c.mFills.Inc()
+		return p.do(fctx, http.MethodGet, key, nil)
+	})
+	if shared {
+		c.mCoal.Inc()
+	}
+	return resp, err
+}
+
+// Forward proxies one mutating exchange (PUT/DELETE) to the owner.
+// Mutations are never coalesced.
+func (c *Cluster) Forward(ctx context.Context, owner, method, key string, body []byte) (*PeerResponse, error) {
+	p := c.peers[owner]
+	if p == nil {
+		return nil, fmt.Errorf("cluster: no client for %q", owner)
+	}
+	c.mProxied.Inc()
+	return p.do(ctx, method, key, body)
+}
+
+// FallbackLocal books one proxy failure answered from the local cache.
+func (c *Cluster) FallbackLocal() { c.mFallbk.Inc() }
+
+// HopTerminated books one forwarded request served locally despite a
+// divergent ring view — the loop-prevention path.
+func (c *Cluster) HopTerminated() { c.mLoops.Inc() }
+
+// --- membership --------------------------------------------------------
+
+// Start launches the health-probe loop; Stop (or ctx cancellation) ends
+// it. Probing is what turns the static member list into a failure-aware
+// ring: EjectAfter consecutive failed rounds eject a peer, RejoinAfter
+// consecutive successes rejoin it.
+func (c *Cluster) Start(ctx context.Context) {
+	pctx, cancel := context.WithCancel(ctx)
+	c.probeCancel = cancel
+	c.probeDone = make(chan struct{})
+	go c.probeLoop(pctx)
+}
+
+// Stop ends the probe loop (idempotent; safe before Start).
+func (c *Cluster) Stop() {
+	if c.probeCancel != nil {
+		c.probeCancel()
+		<-c.probeDone
+		c.probeCancel = nil
+	}
+}
+
+func (c *Cluster) probeLoop(ctx context.Context) {
+	defer close(c.probeDone)
+	t := time.NewTicker(c.cfg.ProbeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.probeRound(ctx)
+		}
+	}
+}
+
+// probeRound probes every remote member once, in parallel (a dead peer
+// costs a full ProbeTimeout; serially, two dead peers would delay the
+// detection of a third).
+func (c *Cluster) probeRound(ctx context.Context) {
+	var wg sync.WaitGroup
+	for id := range c.peers {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			c.probeOne(ctx, id)
+		}(id)
+	}
+	wg.Wait()
+}
+
+// probeOne GETs the peer's /healthz — the liveness route that kvserver
+// keeps exempt from the admission gate, so an overloaded-but-alive peer
+// still answers. One round retries once with the resilience backoff
+// before counting a failure, so a single dropped packet doesn't start an
+// ejection streak.
+func (c *Cluster) probeOne(ctx context.Context, id string) {
+	err := resilience.Retry(ctx, resilience.RetryConfig{
+		Name:      "cluster.probe",
+		Attempts:  2,
+		Base:      c.cfg.ProbeTimeout / 4,
+		Max:       c.cfg.ProbeTimeout,
+		Transient: func(error) bool { return true },
+	}, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, id+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.probeHC.Do(req)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("healthz %d", resp.StatusCode)
+		}
+		return nil
+	})
+	if ctx.Err() != nil {
+		return
+	}
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	if err != nil {
+		c.failRun[id]++
+		c.okRun[id] = 0
+		if c.failRun[id] >= c.cfg.EjectAfter && c.ring.Eject(id) {
+			c.mEjects.Inc()
+			c.peerUp[id].Set(0)
+			c.gAlive.Set(float64(c.ring.AliveCount()))
+			c.cfg.Journal.Append(telemetry.MembershipRecord{
+				Kind: telemetry.KindMembership, Event: "eject", Peer: id,
+				Alive: c.ring.AliveCount(), Members: len(c.ring.Members()),
+				Streak: c.failRun[id],
+			})
+		}
+		return
+	}
+	c.okRun[id]++
+	c.failRun[id] = 0
+	if c.okRun[id] >= c.cfg.RejoinAfter && c.ring.Rejoin(id) {
+		c.mRejoins.Inc()
+		c.peerUp[id].Set(1)
+		c.gAlive.Set(float64(c.ring.AliveCount()))
+		c.cfg.Journal.Append(telemetry.MembershipRecord{
+			Kind: telemetry.KindMembership, Event: "rejoin", Peer: id,
+			Alive: c.ring.AliveCount(), Members: len(c.ring.Members()),
+			Streak: c.okRun[id],
+		})
+	}
+}
+
+// --- introspection -----------------------------------------------------
+
+// MemberView is one member's row in the /cluster/ring view.
+type MemberView struct {
+	ID    string `json:"id"`
+	Self  bool   `json:"self,omitempty"`
+	Alive bool   `json:"alive"`
+	// BreakerOpen reports the peer client's circuit state (always false
+	// for Self).
+	BreakerOpen bool `json:"breaker_open,omitempty"`
+}
+
+// View is the /cluster/ring JSON schema.
+type View struct {
+	Self    string       `json:"self"`
+	Seed    uint64       `json:"seed"`
+	VNodes  int          `json:"vnodes"`
+	Alive   int          `json:"alive"`
+	Members []MemberView `json:"members"`
+	// Owner is the resolved owner for the ?key= query (omitted without
+	// one).
+	Owner string `json:"owner,omitempty"`
+	// Proxied/Coalesced/FallbackLocal/HopTerminated are this node's
+	// routing counters.
+	Proxied       uint64 `json:"proxied"`
+	Coalesced     uint64 `json:"singleflight_coalesced"`
+	FallbackLocal uint64 `json:"fallback_local"`
+	HopTerminated uint64 `json:"hop_terminated"`
+	Ejections     uint64 `json:"ring_ejections"`
+	Rejoins       uint64 `json:"ring_rejoins"`
+}
+
+// StatsView assembles the node's cluster view; key, when non-empty, adds
+// its resolved owner.
+func (c *Cluster) StatsView(key string) View {
+	v := View{
+		Self:          c.cfg.Self,
+		Seed:          c.cfg.Seed,
+		VNodes:        c.cfg.VNodes,
+		Alive:         c.ring.AliveCount(),
+		Proxied:       c.mProxied.Value(),
+		Coalesced:     c.mCoal.Value(),
+		FallbackLocal: c.mFallbk.Value(),
+		HopTerminated: c.mLoops.Value(),
+		Ejections:     c.mEjects.Value(),
+		Rejoins:       c.mRejoins.Value(),
+	}
+	for _, m := range c.ring.Members() {
+		mv := MemberView{ID: m, Self: m == c.cfg.Self, Alive: c.ring.IsAlive(m)}
+		if p := c.peers[m]; p != nil {
+			mv.BreakerOpen = p.BreakerOpen()
+		}
+		v.Members = append(v.Members, mv)
+	}
+	if key != "" {
+		if owner, ok := c.ring.Owner(key); ok {
+			v.Owner = owner
+		}
+	}
+	return v
+}

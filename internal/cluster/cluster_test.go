@@ -1,0 +1,314 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pdp/internal/telemetry"
+)
+
+// TestFlightCoalesces: N concurrent Do calls for one key run the fetch
+// exactly once and share its result; a later call after completion runs
+// a fresh fetch (the table is not a cache).
+func TestFlightCoalesces(t *testing.T) {
+	var f Flight
+	var calls atomic.Int64
+	release := make(chan struct{})
+	const N = 16
+
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int64
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, shared := f.Do("k", func() (*PeerResponse, error) {
+				calls.Add(1)
+				<-release
+				return &PeerResponse{Status: 200, Body: []byte("v")}, nil
+			})
+			if err != nil || v.Status != 200 || string(v.Body) != "v" {
+				t.Errorf("Do: v=%v err=%v", v, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Wait until the one fetch is in flight, then let it finish.
+	for f.InFlight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// Give the other goroutines a beat to pile onto the same call.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fetch ran %d times for %d concurrent misses, want 1", got, N)
+	}
+	if got := sharedCount.Load(); got != N-1 {
+		t.Fatalf("%d callers saw shared=true, want %d", got, N-1)
+	}
+
+	// After completion the key is gone: the next Do fetches again.
+	_, _, shared := f.Do("k", func() (*PeerResponse, error) {
+		calls.Add(1)
+		return &PeerResponse{Status: 404}, nil
+	})
+	if shared || calls.Load() != 2 {
+		t.Fatalf("post-completion Do: shared=%v calls=%d, want fresh fetch", shared, calls.Load())
+	}
+}
+
+// TestFlightDistinctKeys: different keys never coalesce.
+func TestFlightDistinctKeys(t *testing.T) {
+	var f Flight
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f.Do(fmt.Sprintf("k%d", i), func() (*PeerResponse, error) {
+				calls.Add(1)
+				return &PeerResponse{}, nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	if calls.Load() != 8 {
+		t.Fatalf("distinct keys coalesced: %d calls, want 8", calls.Load())
+	}
+}
+
+// TestPeerBreaker: consecutive transport failures open the breaker
+// (requests fail fast with ErrPeerDown), the cooldown admits one probe,
+// and a success closes it again.
+func TestPeerBreaker(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			// Hijack-and-drop produces a transport-level failure.
+			hj := w.(http.Hijacker)
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	tr := &http.Transport{}
+	defer tr.CloseIdleConnections()
+	p := newPeer(srv.URL, tr, time.Second, 1<<20, telemetry.NewRegistry())
+	p.br.cooldown = 50 * time.Millisecond
+
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := p.do(ctx, http.MethodGet, "k", nil); err == nil {
+			t.Fatal("dropped connection reported success")
+		}
+	}
+	if !p.BreakerOpen() {
+		t.Fatal("breaker still closed after 3 consecutive failures")
+	}
+	if _, err := p.do(ctx, http.MethodGet, "k", nil); err != ErrPeerDown {
+		t.Fatalf("open breaker let a request through: %v", err)
+	}
+
+	// After the cooldown, one probe goes through; with the peer healthy
+	// again it closes the breaker.
+	failing.Store(false)
+	time.Sleep(60 * time.Millisecond)
+	if _, err := p.do(ctx, http.MethodGet, "k", nil); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if p.BreakerOpen() {
+		t.Fatal("breaker still open after successful probe")
+	}
+}
+
+// fakePeer is a controllable cluster member: a real HTTP server whose
+// /healthz can be flipped and whose /kv/ GETs are counted.
+type fakePeer struct {
+	srv     *httptest.Server
+	healthy atomic.Bool
+	gets    atomic.Int64
+	delay   time.Duration
+	value   []byte
+}
+
+func newFakePeer(t *testing.T, delay time.Duration) *fakePeer {
+	t.Helper()
+	f := &fakePeer{delay: delay, value: []byte("peer-value")}
+	f.healthy.Store(true)
+	f.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/healthz":
+			if !f.healthy.Load() {
+				http.Error(w, "down", http.StatusServiceUnavailable)
+				return
+			}
+			w.Write([]byte("ok\n"))
+		case r.Method == http.MethodGet:
+			f.gets.Add(1)
+			time.Sleep(f.delay)
+			w.Header().Set("X-Cache", "hit")
+			w.Write(f.value)
+		default:
+			w.WriteHeader(http.StatusNoContent)
+		}
+	}))
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+// ownedBy hunts for a key the ring assigns to the wanted member.
+func ownedBy(t *testing.T, r *Ring, want string) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if o, _ := r.Owner(k); o == want {
+			return k
+		}
+	}
+	t.Fatalf("no key owned by %s in 100k tries", want)
+	return ""
+}
+
+// TestFetchGetSingleflight is the acceptance test for coalesced fills:
+// N concurrent misses for one non-owned key cost exactly one peer fetch.
+func TestFetchGetSingleflight(t *testing.T) {
+	peer := newFakePeer(t, 30*time.Millisecond)
+	self := "http://127.0.0.1:1" // never dialed: everything routes to the fake
+	c, err := New(Config{
+		Self:     self,
+		Peers:    []string{self, peer.srv.URL},
+		Registry: telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ownedBy(t, c.Ring(), peer.srv.URL)
+
+	const N = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := c.FetchGet(context.Background(), peer.srv.URL, key)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.Status != http.StatusOK || string(resp.Body) != "peer-value" {
+				errs <- fmt.Errorf("bad response %d %q", resp.Status, resp.Body)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := peer.gets.Load(); got != 1 {
+		t.Fatalf("%d concurrent misses cost %d peer fetches, want exactly 1", N, got)
+	}
+	v := c.StatsView("")
+	if v.Coalesced != N-1 {
+		t.Fatalf("coalesced counter %d, want %d", v.Coalesced, N-1)
+	}
+}
+
+// TestProbeEjectRejoin: the probe loop ejects a peer after EjectAfter
+// consecutive failed rounds and rejoins it after RejoinAfter successes;
+// ownership follows.
+func TestProbeEjectRejoin(t *testing.T) {
+	peer := newFakePeer(t, 0)
+	self := "http://127.0.0.1:1"
+	reg := telemetry.NewRegistry()
+	journal := telemetry.NewJournal(64)
+	c, err := New(Config{
+		Self:         self,
+		Peers:        []string{self, peer.srv.URL},
+		ProbeEvery:   20 * time.Millisecond,
+		ProbeTimeout: 100 * time.Millisecond,
+		EjectAfter:   2,
+		RejoinAfter:  2,
+		Registry:     reg,
+		Journal:      journal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ownedBy(t, c.Ring(), peer.srv.URL)
+	c.Start(context.Background())
+	defer c.Stop()
+
+	waitFor := func(desc string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timeout waiting for %s", desc)
+	}
+
+	// Healthy: the peer stays in the ring.
+	time.Sleep(100 * time.Millisecond)
+	if !c.Ring().IsAlive(peer.srv.URL) {
+		t.Fatal("healthy peer ejected")
+	}
+
+	// Fail its health checks: after EjectAfter rounds it leaves the ring
+	// and its keys land on the survivor (self).
+	peer.healthy.Store(false)
+	waitFor("ejection", func() bool { return !c.Ring().IsAlive(peer.srv.URL) })
+	if o, _, ok := c.Owner(key); !ok || o != self {
+		t.Fatalf("after ejection key owner = %q, want self", o)
+	}
+
+	// Recover: it rejoins and gets its keys back.
+	peer.healthy.Store(true)
+	waitFor("rejoin", func() bool { return c.Ring().IsAlive(peer.srv.URL) })
+	if o, _, _ := c.Owner(key); o != peer.srv.URL {
+		t.Fatalf("after rejoin key owner = %q, want peer", o)
+	}
+
+	v := c.StatsView("")
+	if v.Ejections < 1 || v.Rejoins < 1 {
+		t.Fatalf("transition counters: ejections=%d rejoins=%d, want >= 1 each", v.Ejections, v.Rejoins)
+	}
+	if journal.CountKind(telemetry.KindMembership) < 2 {
+		t.Fatalf("membership journal records: %d, want >= 2", journal.CountKind(telemetry.KindMembership))
+	}
+}
+
+// TestClusterValidation pins the config error paths.
+func TestClusterValidation(t *testing.T) {
+	if _, err := New(Config{Peers: []string{"a"}}); err == nil {
+		t.Fatal("missing Self accepted")
+	}
+	if _, err := New(Config{Self: "a"}); err == nil {
+		t.Fatal("missing Peers accepted")
+	}
+	if _, err := New(Config{Self: "c", Peers: []string{"a", "b"}}); err == nil {
+		t.Fatal("Self outside Peers accepted")
+	}
+	if _, err := New(Config{Self: "a", Peers: []string{"a"}, ProbeEvery: -time.Second}); err == nil {
+		t.Fatal("negative ProbeEvery accepted")
+	}
+}

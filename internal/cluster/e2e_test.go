@@ -1,0 +1,220 @@
+package cluster_test
+
+// The 3-node end-to-end acceptance tests: real kvservers wired into one
+// ring, driven by the real load generator. This lives in an external
+// test package because kvserver imports cluster; as cluster_test it can
+// import both without a cycle.
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"pdp/internal/cluster"
+	"pdp/internal/kvcache"
+	"pdp/internal/kvserver"
+	"pdp/internal/loadgen"
+	"pdp/internal/telemetry"
+	"pdp/internal/workload"
+)
+
+// e2eMix is a zipf+scan service mix scaled down so the test runs in
+// seconds: a reused hot set under periodic scan bursts — the traffic
+// where owner-routing (one coherent PDP view per key) should match a
+// single cache of equal total capacity.
+var e2eMix = workload.ServiceConfig{
+	Keys: 4000, ZipfS: 0.99, PutFrac: 0.05, ScanEvery: 200, ScanLen: 300,
+}
+
+type e2eNode struct {
+	srv  *kvserver.Server
+	cl   *cluster.Cluster
+	base string
+}
+
+// bootCluster starts n nodes, each with per-node set count sets — total
+// capacity scales with n*sets.
+func bootCluster(t *testing.T, n, sets int, probeEvery time.Duration, ejectAfter int) []*e2eNode {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]*e2eNode, n)
+	for i := range nodes {
+		reg := telemetry.NewRegistry()
+		cache, err := kvcache.New(kvcache.Config{
+			Shards: 2, Sets: sets, Ways: 4, Registry: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := cluster.New(cluster.Config{
+			Self:         urls[i],
+			Peers:        urls,
+			ProbeEvery:   probeEvery,
+			ProbeTimeout: 250 * time.Millisecond,
+			EjectAfter:   ejectAfter,
+			RejoinAfter:  2,
+			Registry:     reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := kvserver.New(cache, kvserver.Config{
+			Addr: urls[i], Listener: lns[i], Cluster: cl, Registry: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = &e2eNode{srv: srv, cl: cl, base: urls[i]}
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			nd.srv.Shutdown(ctx)
+			cancel()
+		}
+	})
+	return nodes
+}
+
+func drive(t *testing.T, targets []string, workers, ops int) loadgen.Result {
+	t.Helper()
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		Targets:   targets,
+		Mix:       e2eMix,
+		Workers:   workers,
+		Ops:       ops,
+		Seed:      42,
+		RetryBase: time.Millisecond,
+		RetryMax:  10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestE2EScaleOutHitRate: three nodes of capacity C/3 each, driven
+// through owner routing, reach an aggregate hit rate within 10% of a
+// single node of capacity C on the same seeded zipf+scan mix.
+func TestE2EScaleOutHitRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second e2e")
+	}
+	const perNodeSets, workers, ops = 64, 4, 8000
+
+	single := bootCluster(t, 1, 3*perNodeSets, time.Hour, 3)
+	resSingle := drive(t, []string{single[0].base, single[0].base}, workers, ops)
+
+	nodes := bootCluster(t, 3, perNodeSets, time.Hour, 3)
+	targets := []string{nodes[0].base, nodes[1].base, nodes[2].base}
+	resCluster := drive(t, targets, workers, ops)
+
+	if resSingle.HitRate() == 0 || resCluster.HitRate() == 0 {
+		t.Fatalf("degenerate run: single=%.4f cluster=%.4f", resSingle.HitRate(), resCluster.HitRate())
+	}
+	rel := (resSingle.HitRate() - resCluster.HitRate()) / resSingle.HitRate()
+	t.Logf("hit rate: single(C)=%.4f cluster(3x C/3)=%.4f rel gap=%.3f", resSingle.HitRate(), resCluster.HitRate(), rel)
+	if rel > 0.10 {
+		t.Fatalf("cluster hit rate %.4f more than 10%% below single-node %.4f", resCluster.HitRate(), resSingle.HitRate())
+	}
+	if resCluster.Availability() < 0.99 {
+		t.Fatalf("healthy-cluster availability %.4f < 0.99", resCluster.Availability())
+	}
+
+	// Owner routing actually engaged: some traffic was proxied, and the
+	// singleflight table coalesced at least part of it.
+	var proxied uint64
+	for _, nd := range nodes {
+		proxied += nd.cl.StatsView("").Proxied
+	}
+	if proxied == 0 {
+		t.Fatal("no request was proxied; ownership routing inert")
+	}
+}
+
+// TestE2EKillNodeAvailability: killing one node mid-tier keeps
+// availability >= 99% when driving the survivors — local fallback
+// bridges the detection window, then ejection reroutes the dead node's
+// keys — and the survivors' rings converge to alive==2 without loops.
+func TestE2EKillNodeAvailability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second e2e")
+	}
+	nodes := bootCluster(t, 3, 64, 100*time.Millisecond, 2)
+	targets := []string{nodes[0].base, nodes[1].base, nodes[2].base}
+
+	// Warm the tier, then kill node 2 hard.
+	drive(t, targets, 2, 2000)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	nodes[2].srv.Shutdown(ctx)
+	cancel()
+
+	// Drive the survivors while their probes discover the death.
+	res := drive(t, targets[:2], 4, 4000)
+	if res.Availability() < 0.99 {
+		t.Fatalf("availability %.4f < 0.99 after killing one node (errors=%d timeouts=%d transport=%d)",
+			res.Availability(), res.Errors, res.Timeouts, res.Transport)
+	}
+
+	// Both survivors converge on ejecting the dead node.
+	deadline := time.Now().Add(10 * time.Second)
+	for _, nd := range nodes[:2] {
+		for {
+			if v := nd.cl.StatsView(""); v.Alive == 2 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %s never ejected the dead member", nd.base)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// And they agree on every rerouted owner — and serve it: a GET for a
+	// key the dead node owned answers from a survivor (possibly a miss),
+	// never an error or a loop.
+	for _, key := range []string{"a", "b", "c", "rerouted-1", "rerouted-2"} {
+		var owners []string
+		for _, nd := range nodes[:2] {
+			resp, err := http.Get(nd.base + "/cluster/ring?key=" + key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var v cluster.View
+			if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			owners = append(owners, v.Owner)
+		}
+		if owners[0] != owners[1] {
+			t.Fatalf("survivors disagree on owner of %q: %v", key, owners)
+		}
+		if owners[0] == nodes[2].base {
+			t.Fatalf("key %q still resolves to the dead node", key)
+		}
+		resp, err := http.Get(nodes[0].base + "/kv/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %q post-ejection: %s", key, resp.Status)
+		}
+	}
+}

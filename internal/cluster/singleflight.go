@@ -1,0 +1,60 @@
+package cluster
+
+import "sync"
+
+// flightCall is one in-flight fetch shared by every coalesced caller.
+type flightCall struct {
+	wg  sync.WaitGroup
+	val *PeerResponse
+	err error
+}
+
+// Flight is the singleflight fill table: concurrent fetches for one key
+// collapse into a single execution of the fetch function, with every
+// caller receiving the shared result. The zero value is ready to use.
+//
+// Unlike a cache, the table holds a key only while its fetch is running —
+// the moment the fetch returns, the entry is dropped, so a later miss
+// fetches fresh.
+type Flight struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// Do runs fn for key, unless a fetch for key is already in flight, in
+// which case it waits for that fetch and returns its result. shared
+// reports whether the result was produced by another caller's fetch.
+//
+// The returned *PeerResponse may be shared across callers; treat it as
+// read-only.
+func (f *Flight) Do(key string, fn func() (*PeerResponse, error)) (v *PeerResponse, err error, shared bool) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = make(map[string]*flightCall)
+	}
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	c.val, c.err = fn()
+	c.wg.Done()
+
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+	return c.val, c.err, false
+}
+
+// InFlight returns the number of fetches currently running (tests and
+// /stats).
+func (f *Flight) InFlight() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}

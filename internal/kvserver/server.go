@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pdp/internal/cluster"
 	"pdp/internal/kvcache"
 	"pdp/internal/resilience"
 	"pdp/internal/servefault"
@@ -66,6 +67,18 @@ type Config struct {
 	// StateEvery is the state-snapshot period (default 30s when
 	// StatePath is set).
 	StateEvery time.Duration
+
+	// Cluster enables ownership-aware routing: keys this node owns are
+	// served locally; keys owned by a live peer are proxied (GETs through
+	// the singleflight fill table, mutations directly), with a local
+	// fallback when the peer is unreachable. Nil keeps the server
+	// single-node. The server drives the cluster's probe loop from
+	// Start/Shutdown.
+	Cluster *cluster.Cluster
+	// Listener, when non-nil, is used instead of listening on Addr — a
+	// test seam that lets a caller pre-bind ports so peer URLs are known
+	// before any server starts.
+	Listener net.Listener
 
 	// Registry and Journal receive server telemetry (both optional).
 	Registry *telemetry.Registry
@@ -151,7 +164,10 @@ func New(cache *kvcache.Cache, cfg Config) (*Server, error) {
 	s.mSnaps = cfg.Registry.Counter("kv.state_snapshots")
 	s.gate = servefault.NewGate(cfg.MaxInflight, cfg.RetryAfter, cfg.Registry, cfg.Journal)
 	mux := http.NewServeMux()
-	mux.Handle("/kv/", s.instrument("/kv/", s.protect("/kv/", s.handleKV)))
+	mux.Handle("/kv/", s.instrument("/kv/", s.protect("/kv/", s.routeKV)))
+	if cfg.Cluster != nil {
+		mux.Handle("/cluster/ring", s.instrument("/cluster/ring", getOnly(s.handleClusterRing)))
+	}
 	mux.Handle("/stats", s.instrument("/stats", getOnly(s.handleStats)))
 	mux.Handle("/healthz", s.instrument("/healthz", getOnly(s.handleHealthz)))
 	mux.Handle("/readyz", s.instrument("/readyz", getOnly(s.handleReadyz)))
@@ -176,9 +192,13 @@ func (s *Server) serveError(route, reqID string, err error) {
 // Start opens the listener and begins serving in the background; it
 // returns once the port is bound, so Addr() is immediately valid.
 func (s *Server) Start(ctx context.Context) error {
-	ln, err := net.Listen("tcp", s.cfg.Addr)
-	if err != nil {
-		return fmt.Errorf("kvserver: listen %s: %w", s.cfg.Addr, err)
+	ln := s.cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", s.cfg.Addr)
+		if err != nil {
+			return fmt.Errorf("kvserver: listen %s: %w", s.cfg.Addr, err)
+		}
 	}
 	s.ln = ln
 	go func() {
@@ -217,6 +237,9 @@ func (s *Server) Start(ctx context.Context) error {
 		s.stateCancel = cancel
 		s.stateDone = make(chan struct{})
 		go s.stateLoop(stateCtx)
+	}
+	if s.cfg.Cluster != nil {
+		s.cfg.Cluster.Start(ctx)
 	}
 	return nil
 }
@@ -265,6 +288,9 @@ func (s *Server) Err() <-chan error { return s.errCh }
 // is configured, so a clean restart resumes from the freshest state —
 // then flushes the journal.
 func (s *Server) Shutdown(ctx context.Context) error {
+	if s.cfg.Cluster != nil {
+		s.cfg.Cluster.Stop()
+	}
 	if s.snapCancel != nil {
 		s.snapCancel()
 		<-s.snapDone
@@ -525,6 +551,8 @@ type statsResponse struct {
 	RDD *kvcache.RDDView `json:"rdd,omitempty"`
 	// Decisions counts attributed policy decisions by kind.
 	Decisions map[string]uint64 `json:"decisions,omitempty"`
+	// Cluster is the node's ring/routing view when clustering is enabled.
+	Cluster *cluster.View `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -585,6 +613,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if rdd := s.cache.RDDSnapshot(); rdd.Counts != nil {
 		resp.RDD = &rdd
+	}
+	if s.cfg.Cluster != nil {
+		v := s.cfg.Cluster.StatsView("")
+		resp.Cluster = &v
 	}
 	if dl := s.cache.Decisions(); dl != nil {
 		resp.Decisions = map[string]uint64{

@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"pdp/internal/telemetry"
@@ -38,6 +39,12 @@ import (
 type Config struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:7070".
 	BaseURL string
+	// Targets, when set, drives several servers (a cluster) instead of the
+	// single BaseURL: workers spread their traffic round-robin across the
+	// list and rotate to the next target when a retryable failure (shed,
+	// transport, connection refused) suggests the current one is in
+	// trouble. The Result then carries per-target attribution.
+	Targets []string
 	// Mix is the request mix each worker replays.
 	Mix workload.ServiceConfig
 	// Workers is the number of concurrent client goroutines (default 1).
@@ -50,6 +57,14 @@ type Config struct {
 	// is re-issued after backoff (default 2; negative disables retries).
 	// Timeouts are not retried — their budget is already spent.
 	Retries int
+	// RampRetries is the separate, larger budget for connection-refused
+	// retries (default 8; negative disables). A refused connection during
+	// a cluster's startup ramp — the process is booting, the port is not
+	// bound yet — is a timing artifact, not unavailability, so it backs
+	// off and retries under this budget instead of immediately counting
+	// against availability. Only an operation that exhausts the budget
+	// books a transport error.
+	RampRetries int
 	// RetryBase and RetryMax shape the capped exponential backoff between
 	// retries (defaults 10ms and 250ms); each wait is jittered by a
 	// seeded uniform factor in [0.5, 1.5) so synchronized workers do not
@@ -65,8 +80,17 @@ type Config struct {
 }
 
 func (c *Config) setDefaults() error {
-	if c.BaseURL == "" {
-		return fmt.Errorf("loadgen: BaseURL required")
+	if len(c.Targets) == 0 {
+		if c.BaseURL == "" {
+			return fmt.Errorf("loadgen: BaseURL or Targets required")
+		}
+		c.Targets = []string{c.BaseURL}
+	}
+	for i, t := range c.Targets {
+		if t == "" {
+			return fmt.Errorf("loadgen: empty target at index %d", i)
+		}
+		c.Targets[i] = strings.TrimSuffix(t, "/")
 	}
 	if c.Workers == 0 {
 		c.Workers = 1
@@ -82,6 +106,12 @@ func (c *Config) setDefaults() error {
 	}
 	if c.Retries < 0 {
 		c.Retries = 0
+	}
+	if c.RampRetries == 0 {
+		c.RampRetries = 8
+	}
+	if c.RampRetries < 0 {
+		c.RampRetries = 0
 	}
 	if c.RetryBase <= 0 {
 		c.RetryBase = 10 * time.Millisecond
@@ -114,6 +144,17 @@ type Result struct {
 	Transport uint64 `json:"transport_errors"`
 	Server5xx uint64 `json:"server_5xx"`
 	Retries   uint64 `json:"retries"`
+	// Refused counts connection-refused attempts retried under the ramp
+	// budget (RampRetries). They are visible here but count against
+	// availability only when an operation exhausts that budget (it then
+	// books a transport error).
+	Refused uint64 `json:"refused_retries"`
+	// PerTarget attributes traffic to each driven server (present only
+	// for multi-target runs). Counters are attempt-level — each attempt
+	// is booked against the target that actually answered (or failed) —
+	// so after a node dies its column stops growing and the survivors'
+	// columns absorb the load.
+	PerTarget map[string]*TargetResult `json:"per_target,omitempty"`
 	// Client-observed request latency in microseconds: the mean plus
 	// quantiles interpolated from the log2 nanosecond histogram.
 	MeanLatencyUS float64 `json:"mean_latency_us"`
@@ -121,6 +162,25 @@ type Result struct {
 	P90LatencyUS  float64 `json:"p90_latency_us"`
 	P99LatencyUS  float64 `json:"p99_latency_us"`
 	P999LatencyUS float64 `json:"p999_latency_us"`
+}
+
+// TargetResult is one target's attempt-level attribution in a
+// multi-target run.
+type TargetResult struct {
+	// Answers counts definitive answers (2xx/404) this target served.
+	Answers uint64 `json:"answers"`
+	// Hits/Misses split this target's definitive GET answers.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Sheds counts 503 answers; Errors counts failed attempts (timeout,
+	// transport, refused, 5xx) against this target.
+	Sheds  uint64 `json:"sheds"`
+	Errors uint64 `json:"errors"`
+	// HitRate is Hits/(Hits+Misses), 0 when undefined.
+	HitRate float64 `json:"hit_rate"`
+	// Client-observed latency for requests this target answered.
+	MeanLatencyUS float64 `json:"mean_latency_us"`
+	P99LatencyUS  float64 `json:"p99_latency_us"`
 }
 
 // HitRate returns Hits/(Hits+Misses) — the client-observed GET hit rate,
@@ -189,7 +249,6 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return Result{}, err
 	}
-	base := strings.TrimSuffix(cfg.BaseURL, "/")
 	hist := cfg.Registry.Histogram("loadgen.latency_ns")
 	if hist == nil {
 		// No registry: keep a private histogram so the Result still
@@ -201,6 +260,18 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		mu  sync.Mutex
 		res Result
 	)
+	// Per-target attribution for multi-target runs: counters merge under
+	// mu at worker exit; the latency histograms are atomic, so workers
+	// observe into the shared ones directly.
+	var thists map[string]*telemetry.Histogram
+	if len(cfg.Targets) > 1 {
+		res.PerTarget = make(map[string]*TargetResult, len(cfg.Targets))
+		thists = make(map[string]*telemetry.Histogram, len(cfg.Targets))
+		for _, tgt := range cfg.Targets {
+			res.PerTarget[tgt] = &TargetResult{}
+			thists[tgt] = &telemetry.Histogram{}
+		}
+	}
 	client := &http.Client{Timeout: 10 * time.Second}
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -209,7 +280,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		go func(w int) {
 			defer wg.Done()
 			stream := workload.NewServiceStream(cfg.Mix, cfg.Seed+uint64(w))
-			worker := newWorker(client, base, hist, &cfg, cfg.Seed+uint64(w))
+			worker := newWorker(client, hist, thists, &cfg, cfg.Seed+uint64(w), w)
 			for i := 0; i < cfg.Ops; i++ {
 				if ctx.Err() != nil {
 					break
@@ -226,12 +297,30 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 			res.Transport += worker.transport
 			res.Server5xx += worker.server5xx
 			res.Retries += worker.retries
+			res.Refused += worker.refused
+			for tgt, ts := range worker.tstats {
+				tr := res.PerTarget[tgt]
+				tr.Answers += ts.answers
+				tr.Hits += ts.hits
+				tr.Misses += ts.misses
+				tr.Sheds += ts.sheds
+				tr.Errors += ts.errors
+			}
 			mu.Unlock()
 		}(w)
 	}
 	wg.Wait()
 	res.Duration = time.Since(start)
 	res.Errors = res.Timeouts + res.Transport + res.Server5xx
+	for tgt, tr := range res.PerTarget {
+		if tr.Hits+tr.Misses > 0 {
+			tr.HitRate = finite(float64(tr.Hits) / float64(tr.Hits+tr.Misses))
+		}
+		if th := thists[tgt]; th.Count() > 0 {
+			tr.MeanLatencyUS = th.Mean() / 1e3
+			tr.P99LatencyUS = th.Quantile(0.99) / 1e3
+		}
+	}
 	if hist.Count() > 0 {
 		q := hist.Summary()
 		res.MeanLatencyUS = hist.Mean() / 1e3
@@ -252,36 +341,66 @@ const (
 	outTimeout                  // 504, or the client-side deadline expired
 	outTransport                // connection-level failure after retries
 	outServer                   // any other 5xx
+	outRefused                  // connection refused: the target is not (yet) listening
 )
+
+// tstat is one worker's attempt-level attribution for one target.
+type tstat struct {
+	answers, hits, misses, sheds, errors uint64
+}
 
 // worker is one client goroutine's state.
 type worker struct {
-	client *http.Client
-	base   string
-	hist   *telemetry.Histogram
-	buf    []byte
-	rng    *trace.RNG
+	client  *http.Client
+	targets []string
+	ti      int // current target index (rotates on retryable failures)
+	hist    *telemetry.Histogram
+	thists  map[string]*telemetry.Histogram // shared, atomic (nil single-target)
+	tstats  map[string]*tstat               // private, merged at exit
+	buf     []byte
+	rng     *trace.RNG
 
 	maxRetries          int
+	rampRetries         int
 	retryBase, retryMax time.Duration
 	deadline            time.Duration
 
 	ops, hits, misses, denies             uint64
 	sheds, timeouts, transport, server5xx uint64
-	retries                               uint64
+	retries, refused                      uint64
 }
 
-func newWorker(client *http.Client, base string, hist *telemetry.Histogram, cfg *Config, seed uint64) *worker {
-	return &worker{
-		client:     client,
-		base:       base,
-		hist:       hist,
-		buf:        make([]byte, 1<<16),
-		rng:        trace.NewRNG(seed ^ 0xA11A11A1),
-		maxRetries: cfg.Retries,
-		retryBase:  cfg.RetryBase,
-		retryMax:   cfg.RetryMax,
-		deadline:   cfg.Deadline,
+func newWorker(client *http.Client, hist *telemetry.Histogram, thists map[string]*telemetry.Histogram, cfg *Config, seed uint64, idx int) *worker {
+	w := &worker{
+		client:      client,
+		targets:     cfg.Targets,
+		ti:          idx % len(cfg.Targets), // spread workers across targets
+		hist:        hist,
+		thists:      thists,
+		buf:         make([]byte, 1<<16),
+		rng:         trace.NewRNG(seed ^ 0xA11A11A1),
+		maxRetries:  cfg.Retries,
+		rampRetries: cfg.RampRetries,
+		retryBase:   cfg.RetryBase,
+		retryMax:    cfg.RetryMax,
+		deadline:    cfg.Deadline,
+	}
+	if len(cfg.Targets) > 1 {
+		w.tstats = make(map[string]*tstat, len(cfg.Targets))
+		for _, t := range cfg.Targets {
+			w.tstats[t] = &tstat{}
+		}
+	}
+	return w
+}
+
+// target returns the worker's current target; rotate moves to the next
+// one (multi-target failover on retryable failures).
+func (w *worker) target() string { return w.targets[w.ti] }
+
+func (w *worker) rotate() {
+	if len(w.targets) > 1 {
+		w.ti = (w.ti + 1) % len(w.targets)
 	}
 }
 
@@ -356,19 +475,38 @@ func (w *worker) put(ctx context.Context, key string, size int) (outcome, bool) 
 
 // exchange issues one request with the retry loop: sheds and transport
 // failures back off (capped exponential, seeded jitter) and retry up to
-// maxRetries times; timeouts and server errors return immediately. On
-// outOK it returns the status and the X-Cache header.
+// maxRetries times; timeouts and server errors return immediately.
+// Connection-refused failures — a node that has not bound its port yet,
+// or just died — retry under the separate, larger rampRetries budget
+// without consuming the regular one, and each retryable failure rotates
+// to the next target so a multi-target run fails over instead of
+// hammering the dead member. On outOK it returns the status and the
+// X-Cache header.
 func (w *worker) exchange(ctx context.Context, method, key string, body []byte) (int, string, outcome) {
-	for attempt := 0; ; attempt++ {
+	for attempt, ramp := 0, 0; ; {
 		status, xcache, out := w.once(ctx, method, key, body)
 		if out == outOK {
 			return status, xcache, outOK
+		}
+		if out == outRefused {
+			w.refused++
+			if ramp >= w.rampRetries || ctx.Err() != nil {
+				// Ramp budget exhausted: the target really is gone, and
+				// from here the refusal is plain unavailability.
+				return 0, "", outTransport
+			}
+			ramp++
+			w.rotate()
+			w.sleepBackoff(ramp)
+			continue
 		}
 		retryable := out == outShed || out == outTransport
 		if !retryable || attempt >= w.maxRetries || ctx.Err() != nil {
 			return 0, "", out
 		}
+		attempt++
 		w.retries++
+		w.rotate()
 		w.sleepBackoff(attempt)
 	}
 }
@@ -384,8 +522,32 @@ func (w *worker) sleepBackoff(attempt int) {
 	time.Sleep(d)
 }
 
-// once issues a single attempt and classifies it.
+// once issues a single attempt against the current target and
+// classifies it, booking attempt-level per-target attribution.
 func (w *worker) once(ctx context.Context, method, key string, body []byte) (int, string, outcome) {
+	tgt := w.target()
+	status, xcache, out := w.attempt(ctx, tgt, method, key, body)
+	if ts := w.tstats[tgt]; ts != nil {
+		switch out {
+		case outOK:
+			ts.answers++
+			if method == http.MethodGet {
+				if status == http.StatusOK {
+					ts.hits++
+				} else if status == http.StatusNotFound {
+					ts.misses++
+				}
+			}
+		case outShed:
+			ts.sheds++
+		default:
+			ts.errors++
+		}
+	}
+	return status, xcache, out
+}
+
+func (w *worker) attempt(ctx context.Context, tgt, method, key string, body []byte) (int, string, outcome) {
 	if w.deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, w.deadline)
@@ -395,7 +557,7 @@ func (w *worker) once(ctx context.Context, method, key string, body []byte) (int
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, w.base+"/kv/"+key, rd)
+	req, err := http.NewRequestWithContext(ctx, method, tgt+"/kv/"+key, rd)
 	if err != nil {
 		return 0, "", outTransport
 	}
@@ -405,14 +567,22 @@ func (w *worker) once(ctx context.Context, method, key string, body []byte) (int
 	t0 := time.Now()
 	resp, err := w.client.Do(req)
 	if err != nil {
-		if isTimeout(err) {
+		switch {
+		case isTimeout(err):
 			return 0, "", outTimeout
+		case errors.Is(err, syscall.ECONNREFUSED):
+			return 0, "", outRefused
+		default:
+			return 0, "", outTransport
 		}
-		return 0, "", outTransport
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	w.hist.Observe(uint64(time.Since(t0).Nanoseconds()))
+	lat := uint64(time.Since(t0).Nanoseconds())
+	w.hist.Observe(lat)
+	if th := w.thists[tgt]; th != nil {
+		th.Observe(lat)
+	}
 	switch {
 	case resp.StatusCode == http.StatusServiceUnavailable:
 		return 0, "", outShed

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"context"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -85,17 +86,85 @@ func TestGatewayTimeoutsNotRetried(t *testing.T) {
 	}
 }
 
-func TestTransportFailuresRetried(t *testing.T) {
+func TestRefusedRetriedUnderRampBudget(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
 	url := srv.URL
 	srv.Close() // nothing is listening anymore
 
-	res := runAgainst(t, url, 2)
+	// A refused connection retries under the separate ramp budget (here 3
+	// per op), not the regular retry budget; an op that exhausts it books
+	// a transport error.
+	res, err := Run(context.Background(), Config{
+		BaseURL:     url,
+		Mix:         getOnlyMix,
+		Workers:     1,
+		Ops:         2,
+		Seed:        1,
+		Retries:     2,
+		RampRetries: 3,
+		RetryBase:   time.Millisecond,
+		RetryMax:    2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Transport != 2 {
 		t.Fatalf("transport=%d, want 2", res.Transport)
 	}
-	if res.Retries != 4 {
-		t.Fatalf("retries=%d, want 2 per op", res.Retries)
+	// Each op: 1 first attempt + 3 ramp retries, all refused.
+	if res.Refused != 8 {
+		t.Fatalf("refused=%d, want 4 refused attempts per op", res.Refused)
+	}
+	if res.Retries != 0 {
+		t.Fatalf("retries=%d; refused retries must not consume the regular budget", res.Retries)
+	}
+}
+
+// TestRefusedRampRecovers is the satellite scenario: a server that is
+// not listening yet when the drive starts. The ramp retries bridge the
+// gap, so availability stays 1 instead of the startup window counting
+// as downtime.
+func TestRefusedRampRecovers(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + ln.Addr().String()
+	ln.Close() // free the port; the "booting" server will bind it shortly
+
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		ln2, err := net.Listen("tcp", url[len("http://"):])
+		if err != nil {
+			return
+		}
+		srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte("v"))
+		})}
+		go srv.Serve(ln2)
+	}()
+
+	res, err := Run(context.Background(), Config{
+		BaseURL:     url,
+		Mix:         getOnlyMix,
+		Workers:     1,
+		Ops:         3,
+		Seed:        1,
+		RampRetries: 50,
+		RetryBase:   5 * time.Millisecond,
+		RetryMax:    20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 || res.Ops != 3 {
+		t.Fatalf("errors=%d ops=%d; startup refusals counted against availability", res.Errors, res.Ops)
+	}
+	if res.Refused == 0 {
+		t.Fatal("test raced: no refused attempt observed before the server came up")
+	}
+	if res.Availability() != 1 {
+		t.Fatalf("availability=%f, want 1", res.Availability())
 	}
 }
 

@@ -63,6 +63,123 @@ func sanitizeProm(s string) string {
 	return b.String()
 }
 
+// sanitizeLabelName maps an arbitrary string onto the Prometheus label-name
+// grammar [a-zA-Z_][a-zA-Z0-9_]*.
+func sanitizeLabelName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if i == 0 && c >= '0' && c <= '9' {
+			b.WriteByte('_')
+			b.WriteByte(c)
+			continue
+		}
+		if ok {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a raw label value per the exposition grammar:
+// backslash, double quote and newline become \\, \" and \n.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// unescapeLabelValue reverses escapeLabelValue; an unknown escape keeps
+// the escaped character verbatim (dropping the backslash), so that
+// re-escaping an already-escaped value is idempotent instead of doubling.
+func unescapeLabelValue(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default: // covers \\ and \" and anything invalid
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// Label renders one label pair `name="value"` with the name sanitized and
+// the value escaped for the exposition format. Use it when minting labeled
+// registry names from runtime strings — peer addresses like
+// `127.0.0.1:8081`, file paths, error text — so no value can break the
+// /metrics page out of the grammar.
+func Label(name, value string) string {
+	return sanitizeLabelName(name) + `="` + escapeLabelValue(value) + `"`
+}
+
+// normalizeLabels re-renders a raw label block so the emitted exposition
+// is always well-formed: every label name is forced onto the label-name
+// grammar and every value is (re-)escaped. Already-valid blocks come back
+// byte-identical; a value minted without Label — say a peer address
+// carrying a quote or a newline — is repaired rather than emitted broken.
+func normalizeLabels(block string) string {
+	if block == "" {
+		return ""
+	}
+	parts := splitPromLabels(block)
+	var b strings.Builder
+	b.Grow(len(block) + 8)
+	for i, lab := range parts {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		eq := strings.IndexByte(lab, '=')
+		if eq < 0 {
+			// No '=': treat the whole fragment as a name with an empty value.
+			b.WriteString(sanitizeLabelName(lab))
+			b.WriteString(`=""`)
+			continue
+		}
+		name, val := lab[:eq], lab[eq+1:]
+		if len(val) >= 2 && val[0] == '"' && val[len(val)-1] == '"' {
+			val = val[1 : len(val)-1]
+		}
+		b.WriteString(Label(name, unescapeLabelValue(val)))
+	}
+	return b.String()
+}
+
 // promFloat renders a float the way Prometheus expects.
 func promFloat(v float64) string {
 	switch {
@@ -122,7 +239,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	fams := map[string]*family{}
 	add := func(name, kind string, s promSeries) {
 		base, labels := promName(name)
-		s.labels = labels
+		s.labels = normalizeLabels(labels)
 		f, ok := fams[base]
 		if !ok {
 			f = &family{kind: kind}

@@ -260,3 +260,69 @@ func TestConcurrentSnapshotAndWriteProm(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestPromLabelEscaping pins the label-value escaping contract: peer
+// addresses and other runtime strings — including quotes, backslashes and
+// newlines — must render as valid exposition text, whether they were
+// minted through Label or pasted raw into a registry name.
+func TestPromLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	// The well-behaved path: a peer address via the Label helper.
+	r.Counter(`cluster.peer_requests{` + Label("peer", "127.0.0.1:8081") + `}`).Add(3)
+	// Hostile values via Label: quote, backslash, newline.
+	r.Counter(`cluster.peer_requests{` + Label("peer", `evil"peer`) + `}`).Add(1)
+	r.Counter(`cluster.peer_requests{` + Label("peer", `back\slash`) + `}`).Add(1)
+	r.Counter(`cluster.peer_requests{` + Label("peer", "line\nbreak") + `}`).Add(1)
+	// The raw path: labels pasted into the name without escaping must be
+	// repaired by the encoder, not emitted broken.
+	r.Counter("raw.counter{v=\"a\"b\"}").Inc()
+	r.Counter("raw.counter{v=\"new\nline\"}").Inc()
+	r.Gauge(`cluster.peer_up{` + Label("peer", "127.0.0.1:8081") + `}`).Set(1)
+	r.Histogram(`cluster.peer_latency_ns{` + Label("peer", "127.0.0.1:8081") + `}`).Observe(100)
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	if err := LintProm(strings.NewReader(page)); err != nil {
+		t.Fatalf("escaped labels fail lint: %v\n%s", err, page)
+	}
+	for _, want := range []string{
+		`cluster_peer_requests{peer="127.0.0.1:8081"} 3`,
+		`cluster_peer_requests{peer="evil\"peer"} 1`,
+		`cluster_peer_requests{peer="back\\slash"} 1`,
+		`cluster_peer_requests{peer="line\nbreak"} 1`,
+		`raw_counter{v="a\"b"} 1`,
+		`raw_counter{v="new\nline"} 1`,
+		`cluster_peer_up{peer="127.0.0.1:8081"} 1`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("missing %q in:\n%s", want, page)
+		}
+	}
+	// No literal (unescaped) newline may survive inside a sample line.
+	for _, line := range strings.Split(page, "\n") {
+		if strings.Contains(line, "break\"") && !strings.Contains(line, `\nbreak`) {
+			t.Fatalf("unescaped newline leaked: %q", line)
+		}
+	}
+}
+
+// TestLabelIdempotent: escaping an already-escaped block through the
+// encoder must not double the backslashes.
+func TestPromLabelEscapingIdempotent(t *testing.T) {
+	r := NewRegistry()
+	// Label escapes once; normalizeLabels must unescape-then-reescape,
+	// leaving the block byte-identical.
+	name := `x.y{` + Label("v", `a"b\c`) + `}`
+	r.Counter(name).Inc()
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `x_y{v="a\"b\\c"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("want %q in:\n%s", want, buf.String())
+	}
+}

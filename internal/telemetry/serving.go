@@ -85,3 +85,29 @@ type CacheSnapshotRecord struct {
 
 // RecordKind implements Record.
 func (CacheSnapshotRecord) RecordKind() string { return KindCacheSnapshot }
+
+// Clustered-serving record kinds (internal/cluster).
+const (
+	// KindMembership records a ring membership transition: a peer ejected
+	// after consecutive failed health probes, or rejoined after recovering.
+	KindMembership = "membership"
+)
+
+// MembershipRecord is the KindMembership schema.
+type MembershipRecord struct {
+	Kind string `json:"kind"`
+	// Event is "eject" or "rejoin".
+	Event string `json:"event"`
+	// Peer is the affected member's node id.
+	Peer string `json:"peer"`
+	// Alive and Members give the ring's live/total membership after the
+	// transition.
+	Alive   int `json:"alive"`
+	Members int `json:"members"`
+	// Streak is the consecutive probe failures (ejects) or successes
+	// (rejoins) that drove the transition.
+	Streak int `json:"streak,omitempty"`
+}
+
+// RecordKind implements Record.
+func (MembershipRecord) RecordKind() string { return KindMembership }
