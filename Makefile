@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-overhead bench-parallel bench-serve bench-hotpath bench-alloc repro repro-parallel fuzz faultcamp serve loadtest scrape serve-smoke chaos cluster cluster-smoke clean
+.PHONY: check build vet test race bench bench-overhead bench-parallel bench-serve bench-hotpath bench-alloc bench-batch repro repro-parallel fuzz faultcamp serve loadtest scrape serve-smoke chaos cluster cluster-smoke clean
 
 # check is the CI gate: build, vet, race-enabled tests.
 check: build vet race
@@ -70,6 +70,14 @@ bench-serve:
 # pdpload at 1/4/16 workers, into BENCH_hotpath.json.
 bench-hotpath:
 	./scripts/bench_hotpath.sh
+
+# Batch-size sweep (-batch 1/8/32/128 at fixed workers) plus the
+# ExecBatch microbenchmark and its <= 1 alloc/op guard, into
+# BENCH_batch.json.
+bench-batch:
+	$(GO) test -count=1 -run TestExecBatchAllocBudget -v ./internal/kvcache/
+	$(GO) test -bench 'ExecBatch' -benchtime 1s -count 3 -run @ ./internal/kvcache/
+	./scripts/bench_batch.sh
 
 # Allocation budget guard: GET <= 1 alloc/op (0 for GetAppend/miss),
 # PUT <= 2 (0 expected), best-of-three against background noise.

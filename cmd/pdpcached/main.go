@@ -13,6 +13,10 @@
 //	GET    /kv/{key}         value bytes; X-Cache: hit|miss, 404 on miss
 //	PUT    /kv/{key}         store body; X-Cache: deny when admission-controlled
 //	DELETE /kv/{key}         drop the key
+//	POST   /batch            JSON array of get/put/delete ops; per-op
+//	                         results in input order, executed per-shard
+//	                         grouped locally and owner-split across the
+//	                         cluster (see -max-batch-ops)
 //	GET    /stats            JSON counters plus per-route latency quantiles,
 //	                         per-shard stats with skew, decision counts and
 //	                         the live RDD
@@ -93,6 +97,7 @@ func main() {
 	adaptEvery := flag.Duration("adapt-every", 500*time.Millisecond, "wall-clock PD recompute period")
 	snapshotEvery := flag.Duration("snapshot-every", 2*time.Second, "telemetry snapshot period (needs -telemetry)")
 	maxValue := flag.Int64("max-value-bytes", 1<<20, "largest accepted PUT body")
+	maxBatchOps := flag.Int("max-batch-ops", 1024, "largest accepted POST /batch operation count")
 	telemetryOut := flag.String("telemetry", "", "write a JSONL telemetry journal to this file")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address")
 	maxInflight := flag.Int("max-inflight", 0, "bound concurrent /kv/ requests; excess is shed with 503 (0 = ungated)")
@@ -248,6 +253,7 @@ func main() {
 		Addr:            *addr,
 		Cluster:         clust,
 		MaxValueBytes:   *maxValue,
+		MaxBatchOps:     *maxBatchOps,
 		AdaptEvery:      *adaptEvery,
 		SnapshotEvery:   *snapshotEvery,
 		MaxInflight:     *maxInflight,

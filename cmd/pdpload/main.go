@@ -9,6 +9,10 @@
 //
 // Mixes (see internal/workload.ServiceMixes): zipf, zipf-scan, zipf-loop,
 // churn, mixed. Individual parameters can be overridden with flags.
+//
+// -batch N ships each worker's ops as POST /batch requests of N ops
+// instead of one request per op; accounting stays per-op (latency is the
+// batch's wall time amortized over its ops, throughput is logical ops/s).
 package main
 
 import (
@@ -38,6 +42,7 @@ func main() {
 	mixName := flag.String("mix", "zipf-loop", "request mix preset")
 	workers := flag.Int("workers", 1, "concurrent client workers (0 = GOMAXPROCS)")
 	ops := flag.Int("ops", 20000, "operations per worker")
+	batch := flag.Int("batch", 0, "ops per POST /batch request (0 or 1 = unbatched per-op protocol)")
 	seed := flag.Uint64("seed", 42, "base stream seed (worker w uses seed+w)")
 	keys := flag.Int("keys", 0, "override: hot key-space size")
 	zipfS := flag.Float64("zipf", -1, "override: Zipf skew exponent")
@@ -91,6 +96,9 @@ func main() {
 	if *ops < 1 {
 		fail(2, "-ops must be >= 1, got %d", *ops)
 	}
+	if *batch < 0 {
+		fail(2, "-batch must be >= 0, got %d", *batch)
+	}
 
 	ctx, stop := resilience.WithShutdown(context.Background())
 	defer stop()
@@ -106,6 +114,7 @@ func main() {
 		Mix:         mix,
 		Workers:     *workers,
 		Ops:         *ops,
+		Batch:       *batch,
 		Seed:        *seed,
 		Retries:     *retries,
 		RampRetries: *rampRetries,
@@ -121,7 +130,7 @@ func main() {
 		fmt.Println(string(out))
 		return
 	}
-	fmt.Printf("mix=%s workers=%d ops=%d seed=%d\n", *mixName, *workers, res.Ops, *seed)
+	fmt.Printf("mix=%s workers=%d ops=%d batch=%d seed=%d\n", *mixName, *workers, res.Ops, *batch, *seed)
 	fmt.Printf("hit rate     %.4f (%d hits / %d gets)\n", res.HitRate(), res.Hits, res.Hits+res.Misses)
 	fmt.Printf("throughput   %.0f ops/s\n", res.Throughput())
 	fmt.Printf("mean latency %.1f us\n", res.MeanLatencyUS)

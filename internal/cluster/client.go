@@ -187,6 +187,62 @@ func (p *Peer) do(ctx context.Context, method, key string, body []byte) (*PeerRe
 	}, nil
 }
 
+// doBatch posts one JSON-encoded sub-batch to the peer's /batch route —
+// the owner-split fan-out path. It shares do's breaker and telemetry
+// bookkeeping; maxResp bounds the response body (a batch answer carries
+// up to one value per op, so the caller scales the cap by the sub-batch
+// size). The hop header caps forwarding exactly as on /kv/: the peer
+// serves the whole sub-batch locally.
+func (p *Peer) doBatch(ctx context.Context, body []byte, maxResp int64) (*PeerResponse, error) {
+	if !p.br.allow() {
+		p.gOpen.Set(1)
+		return nil, ErrPeerDown
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.id+"/batch", bytes.NewReader(body))
+	if err != nil {
+		p.br.failure()
+		return nil, err
+	}
+	req.Header.Set(HopHeader, "1")
+	req.Header.Set("Content-Type", "application/json")
+	p.mReqs.Inc()
+	t0 := time.Now()
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		p.mErrs.Inc()
+		p.br.failure()
+		p.gOpen.Set(boolGauge(p.br.isOpen()))
+		return nil, err
+	}
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, maxResp+1))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	p.hLat.Observe(uint64(time.Since(t0).Nanoseconds()))
+	if err != nil {
+		p.mErrs.Inc()
+		p.br.failure()
+		p.gOpen.Set(boolGauge(p.br.isOpen()))
+		return nil, err
+	}
+	if int64(len(buf)) > maxResp {
+		p.mErrs.Inc()
+		p.br.failure()
+		return nil, fmt.Errorf("cluster: peer %s batch response exceeds %d bytes", p.id, maxResp)
+	}
+	if resp.StatusCode >= 500 && resp.StatusCode != http.StatusServiceUnavailable {
+		p.mErrs.Inc()
+		p.br.failure()
+	} else {
+		p.br.success()
+	}
+	p.gOpen.Set(boolGauge(p.br.isOpen()))
+	return &PeerResponse{
+		Status: resp.StatusCode,
+		XCache: resp.Header.Get("X-Cache"),
+		Body:   buf,
+	}, nil
+}
+
 func boolGauge(b bool) float64 {
 	if b {
 		return 1

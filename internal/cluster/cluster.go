@@ -109,6 +109,7 @@ type Cluster struct {
 	okRun    map[string]int
 	peerUp   map[string]*telemetry.Gauge
 	mProxied *telemetry.Counter
+	mFanout  *telemetry.Counter
 	mCoal    *telemetry.Counter
 	mFills   *telemetry.Counter
 	mFallbk  *telemetry.Counter
@@ -132,10 +133,16 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: Self %q not in Peers %v", cfg.Self, ring.Members())
 	}
 	// One pooled transport for all peers: proxied traffic reuses
-	// connections instead of paying a dial per request.
+	// connections instead of paying a dial per request. Both the idle and
+	// the hard per-host caps are explicit — the default MaxConnsPerHost of
+	// 0 (unlimited) lets a fan-out burst dial far past the idle pool, and
+	// every connection past MaxIdleConnsPerHost is then torn down on
+	// release, so the next burst dials again. Matching the caps keeps the
+	// connection count flat across batch waves.
 	tr := &http.Transport{
 		MaxIdleConns:        256,
 		MaxIdleConnsPerHost: 64,
+		MaxConnsPerHost:     64,
 		IdleConnTimeout:     90 * time.Second,
 	}
 	reg := cfg.Registry
@@ -149,6 +156,7 @@ func New(cfg Config) (*Cluster, error) {
 		peerUp:  make(map[string]*telemetry.Gauge),
 
 		mProxied: reg.Counter("cluster.proxied"),
+		mFanout:  reg.Counter("cluster.batch_fanout"),
 		mCoal:    reg.Counter("cluster.singleflight_coalesced"),
 		mFills:   reg.Counter("cluster.singleflight_fills"),
 		mFallbk:  reg.Counter("cluster.fallback_local"),
@@ -222,6 +230,19 @@ func (c *Cluster) Forward(ctx context.Context, owner, method, key string, body [
 	}
 	c.mProxied.Inc()
 	return p.do(ctx, method, key, body)
+}
+
+// ForwardBatch posts a JSON-encoded sub-batch to owner's /batch route —
+// one leg of the owner-split scatter-gather. maxResp bounds the response
+// body; the caller scales it by the sub-batch size. Batches are never
+// coalesced (they carry mutations).
+func (c *Cluster) ForwardBatch(ctx context.Context, owner string, body []byte, maxResp int64) (*PeerResponse, error) {
+	p := c.peers[owner]
+	if p == nil {
+		return nil, fmt.Errorf("cluster: no client for %q", owner)
+	}
+	c.mFanout.Inc()
+	return p.doBatch(ctx, body, maxResp)
 }
 
 // FallbackLocal books one proxy failure answered from the local cache.
@@ -367,8 +388,10 @@ type View struct {
 	// one).
 	Owner string `json:"owner,omitempty"`
 	// Proxied/Coalesced/FallbackLocal/HopTerminated are this node's
-	// routing counters.
+	// routing counters; BatchFanout counts per-peer sub-batches issued by
+	// the owner-split scatter-gather.
 	Proxied       uint64 `json:"proxied"`
+	BatchFanout   uint64 `json:"batch_fanout"`
 	Coalesced     uint64 `json:"singleflight_coalesced"`
 	FallbackLocal uint64 `json:"fallback_local"`
 	HopTerminated uint64 `json:"hop_terminated"`
@@ -385,6 +408,7 @@ func (c *Cluster) StatsView(key string) View {
 		VNodes:        c.cfg.VNodes,
 		Alive:         c.ring.AliveCount(),
 		Proxied:       c.mProxied.Value(),
+		BatchFanout:   c.mFanout.Value(),
 		Coalesced:     c.mCoal.Value(),
 		FallbackLocal: c.mFallbk.Value(),
 		HopTerminated: c.mLoops.Value(),

@@ -1,0 +1,287 @@
+package kvcache
+
+// Batched execution: ExecBatch runs a slice of GET/PUT/DELETE operations
+// with one shard-lock acquisition per shard *group* instead of one per
+// operation. The wire layer (kvserver's POST /batch) and the cluster
+// fan-out both funnel into it, so the per-operation cost of the serving
+// path — lock/unlock, watchdog sampling, telemetry increments, the
+// global access tick — is amortized over the group.
+//
+// The grouping is a counting sort over the ops' shard indices using
+// pooled scratch (no per-batch allocation in steady state), and every
+// per-op effect of the single-op paths is preserved exactly: decision
+// attribution flows through the same getLocked/putLocked/deleteLocked
+// bodies, the sampler observes every access in op order within a shard,
+// PUT values are copied into freelist-recycled buffers before any lock
+// is taken, and displaced buffers return to the freelist.
+
+import "sync"
+
+// BatchOpKind selects one batch operation's verb.
+type BatchOpKind uint8
+
+// Batch operation kinds.
+const (
+	BatchGet BatchOpKind = iota
+	BatchPut
+	BatchDelete
+)
+
+// BatchOp is one operation of a batch. Value is read only for BatchPut
+// (it is copied before any lock is taken; the caller keeps ownership).
+type BatchOp struct {
+	Kind  BatchOpKind
+	Key   string
+	Value []byte
+}
+
+// BatchStatus reports what one batch operation did.
+type BatchStatus uint8
+
+// Batch operation outcomes.
+const (
+	// BatchHit / BatchMiss are GET outcomes.
+	BatchHit BatchStatus = iota
+	BatchMiss
+	// BatchStored / BatchDenied are PUT outcomes (updates and admitted
+	// fills vs admission-control refusals).
+	BatchStored
+	BatchDenied
+	// BatchDeleted / BatchNotFound are DELETE outcomes.
+	BatchDeleted
+	BatchNotFound
+)
+
+// String renders the status in the wire vocabulary of POST /batch.
+func (s BatchStatus) String() string {
+	switch s {
+	case BatchHit:
+		return "hit"
+	case BatchMiss:
+		return "miss"
+	case BatchStored:
+		return "stored"
+	case BatchDenied:
+		return "denied"
+	case BatchDeleted:
+		return "deleted"
+	case BatchNotFound:
+		return "not_found"
+	}
+	return "unknown"
+}
+
+// BatchResult is one operation's outcome. Value is set only for BatchHit
+// and aliases the dst buffer passed to ExecBatch — it is invalidated by
+// the caller's next reuse of that buffer, exactly like GetAppend's
+// result.
+type BatchResult struct {
+	Status BatchStatus
+	Value  []byte
+}
+
+// batchScratch is the pooled working set of one ExecBatch call: the
+// per-op routing (in-shard hash, shard id), the shard-grouped op order,
+// the group boundaries, pre-copied PUT buffers, and the GET value
+// offsets into dst (materialized into BatchResult.Value only after every
+// append — a growing dst relocates, so slices taken early would dangle).
+type batchScratch struct {
+	hashes []uint64
+	shid   []int32
+	order  []int32
+	bufs   [][]byte
+	voff   []int
+	vlen   []int
+	start  []int32 // len nshards+1: group i is order[start[i]:start[i+1]]
+	pos    []int32
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+func growInt(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
+}
+
+// batchCounters accumulates the cache-level telemetry of one batch so the
+// shared counters are hit once per batch instead of once per op.
+type batchCounters struct {
+	gets, hits, misses    uint64
+	puts, inserts, denies uint64
+	evictions, deletes    uint64
+}
+
+// ExecBatch executes ops in one pass, writing each operation's outcome to
+// results[i] (len(results) must be >= len(ops); it panics otherwise — a
+// caller bug, not an input error). GET hit values are appended to dst and
+// the extended buffer is returned; results[i].Value aliases it. Ops are
+// grouped by shard and each shard's lock is taken once per group; within
+// a shard, ops apply in input order, so a batch carrying a PUT and a
+// later GET of the same key observes the PUT. Across shards there is no
+// ordering (there was none between separate requests either).
+//
+// Steady-state allocation is bounded by the value copies themselves:
+// scratch state is pooled and PUT buffers come from the shard freelists,
+// so the amortized overhead is well under one allocation per op (enforced
+// by BenchmarkExecBatchAllocs).
+func (c *Cache) ExecBatch(ops []BatchOp, results []BatchResult, dst []byte) []byte {
+	n := len(ops)
+	if n == 0 {
+		return dst
+	}
+	if len(results) < n {
+		panic("kvcache: ExecBatch results shorter than ops")
+	}
+	nsh := len(c.shards)
+	s := batchPool.Get().(*batchScratch)
+	s.hashes = growI64(s.hashes, n)
+	s.shid = growI32(s.shid, n)
+	s.order = growI32(s.order, n)
+	s.voff = growInt(s.voff, n)
+	s.vlen = growInt(s.vlen, n)
+	s.start = growI32(s.start, nsh+1)
+	s.pos = growI32(s.pos, nsh)
+	if cap(s.bufs) >= n {
+		s.bufs = s.bufs[:n]
+	} else {
+		s.bufs = make([][]byte, n)
+	}
+
+	// Route every op and count the shard groups.
+	for i := range s.start {
+		s.start[i] = 0
+	}
+	for i := range ops {
+		h := hash(ops[i].Key)
+		sid := int32(h % uint64(nsh))
+		s.shid[i] = sid
+		s.hashes[i] = h / uint64(nsh)
+		s.start[sid+1]++
+	}
+	for i := 0; i < nsh; i++ {
+		s.start[i+1] += s.start[i]
+		s.pos[i] = s.start[i]
+	}
+	for i := range ops {
+		sid := s.shid[i]
+		s.order[s.pos[sid]] = int32(i)
+		s.pos[sid]++
+	}
+
+	// Pre-copy PUT values outside any lock, into freelist buffers of the
+	// op's own shard (ownership transfers to putLocked, which parks the
+	// buffer back on deny).
+	for i := range ops {
+		if ops[i].Kind == BatchPut {
+			sh := c.shards[s.shid[i]]
+			buf := sh.allocBuf(len(ops[i].Value))
+			copy(buf, ops[i].Value)
+			s.bufs[i] = buf
+		}
+	}
+
+	// One critical section per non-empty shard group.
+	var acc batchCounters
+	pd := c.PD()
+	for sid := 0; sid < nsh; sid++ {
+		lo, hi := s.start[sid], s.start[sid+1]
+		if lo == hi {
+			continue
+		}
+		dst = c.execGroup(c.shards[sid], ops, results, s, lo, hi, pd, dst, &acc)
+	}
+
+	// Materialize GET values only now: every append is done, dst will not
+	// relocate again under us.
+	for i := range ops {
+		if ops[i].Kind == BatchGet && results[i].Status == BatchHit {
+			results[i].Value = dst[s.voff[i] : s.voff[i]+s.vlen[i]]
+		}
+	}
+
+	c.mGets.Add(acc.gets)
+	c.mHits.Add(acc.hits)
+	c.mMisses.Add(acc.misses)
+	c.mPuts.Add(acc.puts)
+	c.mInserts.Add(acc.inserts)
+	c.mDenies.Add(acc.denies)
+	c.mEvictions.Add(acc.evictions)
+	c.mDeletes.Add(acc.deletes)
+	batchPool.Put(s)
+
+	// The recompute trigger runs strictly after every group released its
+	// shard lock: Recompute takes all of them.
+	c.tickN(n)
+	return dst
+}
+
+func growI64(s []uint64, n int) []uint64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]uint64, n)
+}
+
+// execGroup runs one shard's ops under a single lock acquisition. The
+// deferred exitLocked keeps the watchdog/unlock pairing panic-safe (the
+// chaos hook may unwind through here), matching the single-op paths.
+func (c *Cache) execGroup(sh *shard, ops []BatchOp, results []BatchResult, s *batchScratch, lo, hi int32, pd int, dst []byte, acc *batchCounters) []byte {
+	sh.mu.Lock()
+	t0 := sh.enterLocked(int(hi - lo))
+	defer sh.exitLocked(t0)
+	for k := lo; k < hi; k++ {
+		i := s.order[k]
+		op := &ops[i]
+		h := s.hashes[i]
+		switch op.Kind {
+		case BatchGet:
+			acc.gets++
+			off := len(dst)
+			var ok bool
+			dst, ok = sh.getLocked(h, op.Key, pd, dst)
+			if ok {
+				acc.hits++
+				results[i].Status = BatchHit
+				s.voff[i] = off
+				s.vlen[i] = len(dst) - off
+			} else {
+				acc.misses++
+				results[i].Status = BatchMiss
+				results[i].Value = nil
+			}
+		case BatchPut:
+			acc.puts++
+			res := sh.putLocked(h, op.Key, s.bufs[i], pd)
+			s.bufs[i] = nil
+			acc.evictions += uint64(res.evicted)
+			if res.denied {
+				acc.denies++
+				results[i].Status = BatchDenied
+			} else {
+				if res.inserted {
+					acc.inserts++
+				}
+				results[i].Status = BatchStored
+			}
+			results[i].Value = nil
+		case BatchDelete:
+			acc.deletes++
+			if sh.deleteLocked(h, op.Key) {
+				results[i].Status = BatchDeleted
+			} else {
+				results[i].Status = BatchNotFound
+			}
+			results[i].Value = nil
+		}
+	}
+	return dst
+}

@@ -1,0 +1,277 @@
+package kvcache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestExecBatchSemantics drives one mixed batch through a small cache and
+// checks every per-op outcome against the single-op contract: puts store,
+// gets of stored keys hit with the right bytes, absent keys miss, deletes
+// report residency, and a later op in the batch observes an earlier one
+// on the same key.
+func TestExecBatchSemantics(t *testing.T) {
+	c, err := New(benchConfig(PolicyPDP, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("resident", []byte("old"))
+
+	ops := []BatchOp{
+		{Kind: BatchPut, Key: "a", Value: []byte("alpha")},
+		{Kind: BatchGet, Key: "a"},                              // sees the put above
+		{Kind: BatchGet, Key: "absent"},                         // miss
+		{Kind: BatchPut, Key: "resident", Value: []byte("new")}, // update in place
+		{Kind: BatchGet, Key: "resident"},
+		{Kind: BatchDelete, Key: "a"},     // deletes this batch's own put
+		{Kind: BatchGet, Key: "a"},        // ... so this misses
+		{Kind: BatchDelete, Key: "never"}, // not found
+	}
+	results := make([]BatchResult, len(ops))
+	dst := c.ExecBatch(ops, results, nil)
+
+	want := []BatchStatus{
+		BatchStored, BatchHit, BatchMiss, BatchStored,
+		BatchHit, BatchDeleted, BatchMiss, BatchNotFound,
+	}
+	for i, w := range want {
+		if results[i].Status != w {
+			t.Errorf("op %d (%q): status %v, want %v", i, ops[i].Key, results[i].Status, w)
+		}
+	}
+	if !bytes.Equal(results[1].Value, []byte("alpha")) {
+		t.Errorf("op 1 value %q, want alpha", results[1].Value)
+	}
+	if !bytes.Equal(results[4].Value, []byte("new")) {
+		t.Errorf("op 4 value %q, want new (update must land before the get)", results[4].Value)
+	}
+	if len(dst) != len("alpha")+len("new") {
+		t.Errorf("dst holds %d bytes, want %d", len(dst), len("alpha")+len("new"))
+	}
+
+	// The batch's ops are fully booked in the aggregate counters.
+	st := c.Stats()
+	if st.Gets != 4 || st.Puts != 3 || st.Deletes != 2 {
+		t.Errorf("stats gets/puts/deletes = %d/%d/%d, want 4/3/2", st.Gets, st.Puts, st.Deletes)
+	}
+	if st.Hits != 2 {
+		t.Errorf("stats hits = %d, want 2", st.Hits)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExecBatchMatchesSingleOps replays the same deterministic mixed
+// stream through a batched cache and a single-op cache and requires
+// identical outcome sequences and aggregate stats — ExecBatch is an
+// execution strategy, not a different policy.
+func TestExecBatchMatchesSingleOps(t *testing.T) {
+	mk := func() *Cache {
+		c, err := New(benchConfig(PolicyPDP, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	single, batched := mk(), mk()
+
+	const rounds, per = 40, 32
+	val := []byte("batch-equivalence-value")
+	results := make([]BatchResult, per)
+	var dst []byte
+	for r := 0; r < rounds; r++ {
+		ops := make([]BatchOp, per)
+		for i := range ops {
+			k := fmt.Sprintf("k%03d", (r*7+i*3)%100)
+			switch (r + i) % 5 {
+			case 0, 1:
+				ops[i] = BatchOp{Kind: BatchPut, Key: k, Value: val}
+			case 4:
+				ops[i] = BatchOp{Kind: BatchDelete, Key: k}
+			default:
+				ops[i] = BatchOp{Kind: BatchGet, Key: k}
+			}
+		}
+		dst = batched.ExecBatch(ops, results, dst[:0])
+		for i, op := range ops {
+			var want BatchStatus
+			switch op.Kind {
+			case BatchGet:
+				if _, ok := single.Get(op.Key); ok {
+					want = BatchHit
+				} else {
+					want = BatchMiss
+				}
+			case BatchPut:
+				if single.Put(op.Key, op.Value) {
+					want = BatchStored
+				} else {
+					want = BatchDenied
+				}
+			case BatchDelete:
+				if single.Delete(op.Key) {
+					want = BatchDeleted
+				} else {
+					want = BatchNotFound
+				}
+			}
+			if results[i].Status != want {
+				t.Fatalf("round %d op %d (%q kind %d): batched %v, single-op %v",
+					r, i, op.Key, op.Kind, results[i].Status, want)
+			}
+		}
+	}
+
+	ss, bs := single.Stats(), batched.Stats()
+	ss.PD, bs.PD = 0, 0 // PD gauges may differ by recompute timing; everything else must not
+	ss.Recomputes, bs.Recomputes = 0, 0
+	if ss != bs {
+		t.Errorf("aggregate stats diverged:\n single: %+v\nbatched: %+v", ss, bs)
+	}
+	if err := batched.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExecBatchConcurrent hammers ExecBatch from several goroutines with
+// overlapping key ranges (run under -race in CI) and checks invariants
+// afterwards — the per-shard grouping must not break the locking
+// discipline.
+func TestExecBatchConcurrent(t *testing.T) {
+	c, err := New(benchConfig(PolicyPDP, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results := make([]BatchResult, 64)
+			var dst []byte
+			val := []byte("concurrent-value")
+			for r := 0; r < 50; r++ {
+				ops := make([]BatchOp, 64)
+				for i := range ops {
+					k := fmt.Sprintf("k%03d", (g*17+r*5+i)%200)
+					switch i % 3 {
+					case 0:
+						ops[i] = BatchOp{Kind: BatchPut, Key: k, Value: val}
+					case 1:
+						ops[i] = BatchOp{Kind: BatchGet, Key: k}
+					default:
+						ops[i] = BatchOp{Kind: BatchDelete, Key: k}
+					}
+				}
+				dst = c.ExecBatch(ops, results, dst[:0])
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExecBatchRecompute verifies the batch tick fires the count-driven
+// PD recomputation when a batch crosses the epoch boundary — and that it
+// fires outside the shard locks (a deadlock here would hang the test).
+func TestExecBatchRecompute(t *testing.T) {
+	cfg := benchConfig(PolicyPDP, 4)
+	cfg.RecomputeEvery = 64
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]BatchOp, 48)
+	for i := range ops {
+		ops[i] = BatchOp{Kind: BatchGet, Key: fmt.Sprintf("k%02d", i)}
+	}
+	results := make([]BatchResult, len(ops))
+	c.ExecBatch(ops, results, nil) // accs 48: no boundary
+	if got := c.Recomputes(); got != 0 {
+		t.Fatalf("recomputes after 48 accesses: %d, want 0", got)
+	}
+	c.ExecBatch(ops, results, nil) // accs 96: crossed 64
+	if got := c.Recomputes(); got != 1 {
+		t.Fatalf("recomputes after 96 accesses: %d, want 1", got)
+	}
+}
+
+// TestExecBatchAllocBudget is the acceptance-criteria guard: a
+// steady-state mixed batch must amortize to at most one allocation per
+// operation (scratch is pooled, PUT values ride the freelist, GET values
+// land in the caller's reused buffer).
+func TestExecBatchAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	c, err := New(benchConfig(PolicyPDP, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := benchKeys(t, c, 256, 128)
+	val := make([]byte, 128)
+
+	const batch = 64
+	ops := make([]BatchOp, batch)
+	results := make([]BatchResult, batch)
+	dst := make([]byte, 0, batch*256)
+	round := 0
+	fill := func() {
+		for i := range ops {
+			k := keys[(round*batch+i)%len(keys)]
+			if i%10 == 9 {
+				ops[i] = BatchOp{Kind: BatchPut, Key: k, Value: val}
+			} else {
+				ops[i] = BatchOp{Kind: BatchGet, Key: k}
+			}
+		}
+		round++
+	}
+	fill()
+	dst = c.ExecBatch(ops, results, dst[:0]) // warm pool + freelists
+
+	if got := bestOfAllocs(100, func() {
+		fill()
+		dst = c.ExecBatch(ops, results, dst[:0])
+	}); got > float64(batch) {
+		t.Errorf("ExecBatch allocates %.1f per %d-op batch (%.3f/op), budget 1/op", got, batch, got/batch)
+	}
+}
+
+// BenchmarkExecBatch measures the amortized per-op cost of the batched
+// path at several batch sizes against the same 90/10 get/put mix the
+// shards sweep uses; b.N counts logical ops, so ns/op is directly
+// comparable to BenchmarkHotPathGetHit and friends.
+func BenchmarkExecBatch(b *testing.B) {
+	for _, size := range []int{1, 8, 32, 128} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			c, err := New(benchConfig(PolicyPDP, 16))
+			if err != nil {
+				b.Fatal(err)
+			}
+			keys := benchKeys(b, c, 1024, 128)
+			val := make([]byte, 128)
+			ops := make([]BatchOp, size)
+			results := make([]BatchResult, size)
+			dst := make([]byte, 0, size*256)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; done += size {
+				for i := range ops {
+					k := keys[(done+i)%len(keys)]
+					if (done+i)%10 == 9 {
+						ops[i] = BatchOp{Kind: BatchPut, Key: k, Value: val}
+					} else {
+						ops[i] = BatchOp{Kind: BatchGet, Key: k}
+					}
+				}
+				dst = c.ExecBatch(ops, results, dst[:0])
+			}
+		})
+	}
+}

@@ -426,6 +426,23 @@ func (c *Cache) tick() {
 	}
 }
 
+// tickN books n accesses at once — the batch path's amortized tick. It
+// fires the count-driven recomputation when the batch crossed an epoch
+// boundary (at most one recompute per batch: a batch larger than an epoch
+// still folds into the current merge, which sees all its sampler
+// evidence anyway). Must not be called with any shard lock held —
+// Recompute takes every shard lock.
+func (c *Cache) tickN(n int) {
+	if n <= 0 {
+		return
+	}
+	now := c.accs.Add(uint64(n))
+	if c.cfg.Policy == PolicyPDP && c.cfg.RecomputeEvery > 0 &&
+		now/c.cfg.RecomputeEvery != (now-uint64(n))/c.cfg.RecomputeEvery {
+		c.Recompute()
+	}
+}
+
 // Stats aggregates shard counters; it takes each shard lock briefly.
 func (c *Cache) Stats() Stats {
 	var st Stats

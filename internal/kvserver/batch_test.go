@@ -1,0 +1,393 @@
+package kvserver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"pdp/internal/cluster"
+	"pdp/internal/kvcache"
+	"pdp/internal/telemetry"
+)
+
+// postBatch posts ops to base's /batch and decodes the per-op results.
+func postBatch(t *testing.T, base string, ops []wireOp) (int, []wireResult) {
+	t.Helper()
+	body, err := json.Marshal(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil
+	}
+	var out []wireResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode batch response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestBatchRoundTrip drives one mixed batch through a single node and
+// checks the wire statuses, the returned values, the batch telemetry and
+// the /stats batch section.
+func TestBatchRoundTrip(t *testing.T) {
+	srv, base := startServer(t, kvcache.Config{Shards: 2, Sets: 16, Ways: 4},
+		Config{MaxValueBytes: 64, Registry: telemetry.NewRegistry()})
+
+	big := make([]byte, 65) // over MaxValueBytes: per-op too_large
+	status, out := postBatch(t, base, []wireOp{
+		{Op: "put", Key: "a", Value: []byte("alpha")},
+		{Op: "get", Key: "a"},
+		{Op: "get", Key: "absent"},
+		{Op: "put", Key: "big", Value: big},
+		{Op: "delete", Key: "a"},
+		{Op: "delete", Key: "never"},
+		{Op: "frob", Key: "a"},
+		{Op: "get", Key: ""},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("batch status %d", status)
+	}
+	want := []string{"stored", "hit", "miss", "too_large", "deleted", "not_found", "error", "error"}
+	for i, w := range want {
+		if out[i].Status != w {
+			t.Errorf("op %d: status %q, want %q", i, out[i].Status, w)
+		}
+	}
+	if !bytes.Equal(out[1].Value, []byte("alpha")) {
+		t.Errorf("op 1 value %q, want alpha", out[1].Value)
+	}
+	// The oversized value never reached the cache.
+	if _, ok := srv.cache.Get("big"); ok {
+		t.Error("too_large value was stored")
+	}
+
+	// Batch telemetry: counts, the size histogram, the per-op latency.
+	reg := srv.cfg.Registry
+	if got := reg.Counter("http.batches").Value(); got != 1 {
+		t.Errorf("http.batches = %d, want 1", got)
+	}
+	if got := reg.Counter("http.batch_ops").Value(); got != 8 {
+		t.Errorf("http.batch_ops = %d, want 8", got)
+	}
+	if got := reg.Histogram("http.batch_op_latency_ns").Count(); got != 8 {
+		t.Errorf("batch_op_latency count = %d, want 8 (one amortized sample per op)", got)
+	}
+
+	// /stats exposes the batch section.
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Batch == nil || st.Batch.Batches != 1 || st.Batch.Ops != 8 {
+		t.Fatalf("stats batch section: %+v", st.Batch)
+	}
+}
+
+// TestBatchRejections covers the whole-batch failure modes: an empty
+// batch, a malformed body, and one exceeding MaxBatchOps.
+func TestBatchRejections(t *testing.T) {
+	_, base := startServer(t, kvcache.Config{Shards: 2, Sets: 16, Ways: 4},
+		Config{MaxBatchOps: 4, Registry: telemetry.NewRegistry()})
+
+	if status, _ := postBatch(t, base, []wireOp{}); status != http.StatusBadRequest {
+		t.Errorf("empty batch: %d, want 400", status)
+	}
+	resp, err := http.Post(base+"/batch", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: %d, want 400", resp.StatusCode)
+	}
+	ops := make([]wireOp, 5)
+	for i := range ops {
+		ops[i] = wireOp{Op: "get", Key: fmt.Sprintf("k%d", i)}
+	}
+	if status, _ := postBatch(t, base, ops); status != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch: %d, want 413", status)
+	}
+	resp, err = http.Get(base + "/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /batch: %d, want 405", resp.StatusCode)
+	}
+}
+
+// startBatchCluster boots n ring-wired nodes like startCluster, but lets
+// the caller adjust each node's server config (gate limits for the
+// partial-failure test).
+func startBatchCluster(t *testing.T, n int, tweak func(i int, scfg *Config)) []*clusterNode {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]*clusterNode, n)
+	for i := range nodes {
+		reg := telemetry.NewRegistry()
+		cache, err := kvcache.New(kvcache.Config{Shards: 2, Sets: 64, Ways: 4, Registry: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := cluster.New(cluster.Config{
+			Self:       urls[i],
+			Peers:      urls,
+			ProbeEvery: 50 * time.Millisecond,
+			EjectAfter: 2,
+			Registry:   reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scfg := Config{Addr: urls[i], Listener: lns[i], Cluster: cl, Registry: reg}
+		if tweak != nil {
+			tweak(i, &scfg)
+		}
+		srv, err := New(cache, scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = &clusterNode{cache: cache, srv: srv, base: urls[i]}
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			nd.srv.Shutdown(ctx)
+			cancel()
+		}
+	})
+	return nodes
+}
+
+// ownedKeys returns count keys the ring resolves to each node, indexed
+// like nodes.
+func ownedKeys(nodes []*clusterNode, count int) [][]string {
+	ring := nodes[0].srv.cfg.Cluster.Ring()
+	out := make([][]string, len(nodes))
+	for i := 0; len(out[0]) < count || len(out[1]) < count || (len(nodes) > 2 && len(out[2]) < count); i++ {
+		key := fmt.Sprintf("bk-%04d", i)
+		owner, _ := ring.Owner(key)
+		for j, nd := range nodes {
+			if nd.base == owner && len(out[j]) < count {
+				out[j] = append(out[j], key)
+			}
+		}
+	}
+	return out
+}
+
+// TestBatchScatterGatherOrder: a batch interleaving keys owned by all
+// three nodes, posted to one node, comes back in input order with every
+// value intact and each op attributed to the node that executed it.
+func TestBatchScatterGatherOrder(t *testing.T) {
+	nodes := startBatchCluster(t, 3, nil)
+	owned := ownedKeys(nodes, 8)
+
+	// Interleave the owners so the reassembly has to undo the grouping,
+	// and store every key's value through the batch path itself.
+	var keys []string
+	for k := 0; k < 8; k++ {
+		for j := range nodes {
+			keys = append(keys, owned[j][k])
+		}
+	}
+	puts := make([]wireOp, len(keys))
+	for i, k := range keys {
+		puts[i] = wireOp{Op: "put", Key: k, Value: []byte("val-" + k)}
+	}
+	status, out := postBatch(t, nodes[0].base, puts)
+	if status != http.StatusOK {
+		t.Fatalf("put batch status %d", status)
+	}
+	for i := range out {
+		if out[i].Status != "stored" {
+			t.Fatalf("put %d (%s): %+v", i, keys[i], out[i])
+		}
+	}
+
+	gets := make([]wireOp, len(keys))
+	for i, k := range keys {
+		gets[i] = wireOp{Op: "get", Key: k}
+	}
+	status, out = postBatch(t, nodes[0].base, gets)
+	if status != http.StatusOK {
+		t.Fatalf("get batch status %d", status)
+	}
+	ring := nodes[0].srv.cfg.Cluster.Ring()
+	for i, k := range keys {
+		if out[i].Status != "hit" {
+			t.Errorf("get %d (%s): status %q, want hit", i, k, out[i].Status)
+		}
+		if want := "val-" + k; !bytes.Equal(out[i].Value, []byte(want)) {
+			t.Errorf("get %d (%s): value %q, want %q — input order broken", i, k, out[i].Value, want)
+		}
+		if owner, _ := ring.Owner(k); out[i].Node != owner {
+			t.Errorf("get %d (%s): node %q, want owner %q", i, k, out[i].Node, owner)
+		}
+	}
+
+	// The fan-out actually engaged: the entry node issued sub-batches.
+	if v := nodes[0].srv.cfg.Cluster.StatsView(""); v.BatchFanout == 0 {
+		t.Error("no batch fan-out recorded; scatter-gather inert")
+	}
+}
+
+// TestBatchPartialFailureShed: with one peer's admission gate saturated,
+// a mixed batch through another node completes partially — the shedding
+// peer's ops book "shed", everything else (local hits/misses, an
+// oversized value) proceeds normally.
+func TestBatchPartialFailureShed(t *testing.T) {
+	// Node 1 gets a one-slot gate; the others stay ungated.
+	nodes := startBatchCluster(t, 2, func(i int, scfg *Config) {
+		scfg.MaxValueBytes = 64
+		if i == 1 {
+			scfg.MaxInflight = 1
+		}
+	})
+	owned := ownedKeys(nodes, 4)
+
+	// Warm a local key so the batch sees a hit.
+	status, out := postBatch(t, nodes[0].base, []wireOp{
+		{Op: "put", Key: owned[0][0], Value: []byte("local-v")},
+	})
+	if status != http.StatusOK || out[0].Status != "stored" {
+		t.Fatalf("warm put: %d %+v", status, out)
+	}
+
+	// Saturate node 1's only gate slot with a PUT whose body never
+	// arrives (the TestHealthExemptFromGate technique).
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	req, _ := http.NewRequest(http.MethodPut, nodes[1].base+"/kv/stall", pr)
+	req.ContentLength = -1
+	stalled := make(chan struct{})
+	go func() {
+		defer close(stalled)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	// Wait for the stalled PUT to occupy the slot by watching the gate's
+	// own inflight count. Probing with real /kv/ requests would race: each
+	// probe holds the single slot for its own round-trip, and a probe
+	// in flight when the stalled PUT arrives sheds it — permanently, since
+	// the pipe never retries.
+	deadline := time.Now().Add(5 * time.Second)
+	for nodes[1].srv.gate.InFlight() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("gate never saturated: inflight %d", nodes[1].srv.gate.InFlight())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	big := make([]byte, 65)
+	status, out = postBatch(t, nodes[0].base, []wireOp{
+		{Op: "get", Key: owned[0][0]},                     // local hit
+		{Op: "get", Key: owned[1][0]},                     // peer-owned: shed
+		{Op: "get", Key: owned[0][1]},                     // local miss
+		{Op: "put", Key: owned[0][2], Value: big},         // local too_large
+		{Op: "put", Key: owned[1][1], Value: []byte("x")}, // peer-owned: shed
+	})
+	if status != http.StatusOK {
+		t.Fatalf("mixed batch status %d (partial failure must not fail the batch)", status)
+	}
+	want := []string{"hit", "shed", "miss", "too_large", "shed"}
+	for i, w := range want {
+		if out[i].Status != w {
+			t.Errorf("op %d: status %q, want %q (results: %+v)", i, out[i].Status, w, out)
+		}
+	}
+	if !bytes.Equal(out[0].Value, []byte("local-v")) {
+		t.Errorf("op 0 value %q, want local-v", out[0].Value)
+	}
+	for _, i := range []int{1, 4} {
+		if out[i].Node != nodes[1].base {
+			t.Errorf("op %d: shed attributed to %q, want the shedding peer %q", i, out[i].Node, nodes[1].base)
+		}
+	}
+
+	pw.CloseWithError(io.ErrUnexpectedEOF)
+	<-stalled
+}
+
+// TestBatchDeadPeerFallback is the 3-node e2e with one dead member: after
+// the peer is killed, batches through a survivor that include the dead
+// node's keys still answer every op — its ops fall back to local
+// execution (possibly misses, never errors) until the probe loop ejects
+// it, after which ownership reroutes entirely.
+func TestBatchDeadPeerFallback(t *testing.T) {
+	nodes := startBatchCluster(t, 3, nil)
+	owned := ownedKeys(nodes, 4)
+
+	// Kill node 2 hard.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	nodes[2].srv.Shutdown(ctx)
+	cancel()
+
+	// Immediately drive batches with all three owners' keys through node
+	// 0. Every op must resolve to a definite status; the dead peer's ops
+	// go through the local fallback (miss/stored locally), never "error".
+	for round := 0; round < 10; round++ {
+		ops := []wireOp{
+			{Op: "put", Key: owned[0][0], Value: []byte("a")},
+			{Op: "put", Key: owned[1][0], Value: []byte("b")},
+			{Op: "put", Key: owned[2][0], Value: []byte("c")}, // dead owner
+			{Op: "get", Key: owned[2][1]},                     // dead owner
+			{Op: "get", Key: owned[1][1]},
+		}
+		status, out := postBatch(t, nodes[0].base, ops)
+		if status != http.StatusOK {
+			t.Fatalf("round %d: batch status %d", round, status)
+		}
+		for i, res := range out {
+			switch res.Status {
+			case "hit", "miss", "stored", "denied", "deleted", "not_found", "shed":
+			default:
+				t.Fatalf("round %d op %d (%s): status %q — dead peer must not surface errors",
+					round, i, ops[i].Key, res.Status)
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The survivor bridged with local fallbacks and/or ejected the peer.
+	v := nodes[0].srv.cfg.Cluster.StatsView("")
+	if v.FallbackLocal == 0 && v.Alive == 3 {
+		t.Error("dead peer neither triggered local fallback nor got ejected")
+	}
+}

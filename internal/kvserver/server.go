@@ -46,10 +46,18 @@ type Config struct {
 	// disables. Negative values are rejected. Requires Journal.
 	SnapshotEvery time.Duration
 
-	// MaxInflight bounds concurrent /kv/ requests. A request arriving at
-	// a full gate is shed with 503 + Retry-After when it carries no
-	// deadline, and otherwise waits until a slot frees or the deadline
-	// expires (504). 0 disables the gate.
+	// MaxBatchOps caps the operations of one POST /batch request (default
+	// 1024; larger batches answer 413).
+	MaxBatchOps int
+	// MaxBatchBytes caps one /batch request body (default 8 MiB).
+	MaxBatchBytes int64
+
+	// MaxInflight bounds concurrent /kv/ and /batch requests (one batch
+	// takes one slot — the amortization that makes batching pay also
+	// applies to the gate). A request arriving at a full gate is shed with
+	// 503 + Retry-After when it carries no deadline, and otherwise waits
+	// until a slot frees or the deadline expires (504). 0 disables the
+	// gate.
 	MaxInflight int
 	// RetryAfter is the backoff hint carried on shed responses (default
 	// 1s).
@@ -111,6 +119,14 @@ type Server struct {
 	reqSeq  atomic.Uint64
 	mErrors *telemetry.Counter
 
+	// Batch-path telemetry: batch/op counts, the batch-size log2
+	// histogram, and the amortized per-op latency histogram (one batch's
+	// wall time booked once per op).
+	mBatches    *telemetry.Counter
+	mBatchOps   *telemetry.Counter
+	hBatchSize  *telemetry.Histogram
+	hBatchOpLat *telemetry.Histogram
+
 	errCh chan error
 }
 
@@ -134,6 +150,18 @@ func New(cache *kvcache.Cache, cfg Config) (*Server, error) {
 	}
 	if cfg.SnapshotEvery < 0 {
 		return nil, fmt.Errorf("kvserver: SnapshotEvery must be >= 0, got %v", cfg.SnapshotEvery)
+	}
+	if cfg.MaxBatchOps == 0 {
+		cfg.MaxBatchOps = 1024
+	}
+	if cfg.MaxBatchOps < 0 {
+		return nil, fmt.Errorf("kvserver: MaxBatchOps must be positive, got %d", cfg.MaxBatchOps)
+	}
+	if cfg.MaxBatchBytes == 0 {
+		cfg.MaxBatchBytes = 8 << 20
+	}
+	if cfg.MaxBatchBytes < 0 {
+		return nil, fmt.Errorf("kvserver: MaxBatchBytes must be positive, got %d", cfg.MaxBatchBytes)
 	}
 	if cfg.MaxInflight < 0 {
 		return nil, fmt.Errorf("kvserver: MaxInflight must be >= 0, got %d", cfg.MaxInflight)
@@ -162,9 +190,14 @@ func New(cache *kvcache.Cache, cfg Config) (*Server, error) {
 	s.mErrors = cfg.Registry.Counter("http.serve_errors")
 	s.mSnapErrs = cfg.Registry.Counter("kv.state_snapshot_errors")
 	s.mSnaps = cfg.Registry.Counter("kv.state_snapshots")
+	s.mBatches = cfg.Registry.Counter("http.batches")
+	s.mBatchOps = cfg.Registry.Counter("http.batch_ops")
+	s.hBatchSize = cfg.Registry.Histogram("http.batch_size")
+	s.hBatchOpLat = cfg.Registry.Histogram("http.batch_op_latency_ns")
 	s.gate = servefault.NewGate(cfg.MaxInflight, cfg.RetryAfter, cfg.Registry, cfg.Journal)
 	mux := http.NewServeMux()
 	mux.Handle("/kv/", s.instrument("/kv/", s.protect("/kv/", s.routeKV)))
+	mux.Handle("/batch", s.instrument("/batch", s.protect("/batch", s.handleBatch)))
 	if cfg.Cluster != nil {
 		mux.Handle("/cluster/ring", s.instrument("/cluster/ring", getOnly(s.handleClusterRing)))
 	}
@@ -533,6 +566,18 @@ type skewView struct {
 	HitRateMax    float64 `json:"hit_rate_max"`
 }
 
+// batchStatsView summarizes the /batch pipeline: batch and logical-op
+// counts, the mean batch size, and the amortized per-op latency
+// quantiles (one batch's wall time booked once per op — directly
+// comparable to the /kv/ per-request latency at equal offered load).
+type batchStatsView struct {
+	Batches      uint64      `json:"batches"`
+	Ops          uint64      `json:"ops"`
+	MeanSize     float64     `json:"mean_size"`
+	OpLatencyUS  latencyView `json:"op_latency_us"`
+	SizeBucketsL []uint64    `json:"size_log2_buckets"`
+}
+
 // statsResponse is the /stats JSON schema.
 type statsResponse struct {
 	kvcache.Stats
@@ -546,6 +591,8 @@ type statsResponse struct {
 	// Gate reports overload-protection state when the admission gate is
 	// enabled.
 	Gate *gateView `json:"gate,omitempty"`
+	// Batch reports the /batch pipeline once it has served traffic.
+	Batch *batchStatsView `json:"batch,omitempty"`
 	// RDD is the live merged reuse-distance distribution (PDP only) —
 	// what the next recompute will decide from.
 	RDD *kvcache.RDDView `json:"rdd,omitempty"`
@@ -610,6 +657,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.gate != nil {
 		resp.Gate = &gateView{MaxInflight: s.cfg.MaxInflight, InFlight: s.gate.InFlight()}
+	}
+	if nb := s.mBatches.Value(); nb > 0 {
+		q := s.hBatchOpLat.Summary()
+		resp.Batch = &batchStatsView{
+			Batches:  nb,
+			Ops:      s.mBatchOps.Value(),
+			MeanSize: s.hBatchSize.Mean(),
+			OpLatencyUS: latencyView{
+				Count: s.hBatchOpLat.Count(),
+				Mean:  s.hBatchOpLat.Mean() / 1e3,
+				P50:   q.P50 / 1e3,
+				P90:   q.P90 / 1e3,
+				P99:   q.P99 / 1e3,
+				P999:  q.P999 / 1e3,
+			},
+			SizeBucketsL: s.hBatchSize.Buckets(),
+		}
 	}
 	if rdd := s.cache.RDDSnapshot(); rdd.Counts != nil {
 		resp.RDD = &rdd

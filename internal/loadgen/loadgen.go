@@ -13,6 +13,13 @@
 // from actual unavailability. Sheds and failures never pollute the
 // measured hit rate: hits and misses count only from definitive 200/404
 // answers.
+//
+// With Batch > 1 the client switches to the batched wire protocol: each
+// worker buffers Batch consecutive ops from its stream and ships them as
+// one POST /batch, then books a per-op outcome from each response row.
+// Latency is recorded amortized — the batch's wall time divided by its
+// size, observed once per op — so quantiles and Throughput() stay
+// per-operation comparable with the unbatched path.
 package loadgen
 
 import (
@@ -51,6 +58,14 @@ type Config struct {
 	Workers int
 	// Ops is the number of operations per worker (default 10000).
 	Ops int
+	// Batch, when > 1, groups each worker's ops into POST /batch requests
+	// of this size (a final short batch flushes the remainder). GET misses
+	// are filled cache-aside through a follow-up fill batch. Per-op
+	// accounting is preserved: each response row books one outcome, a
+	// whole-batch shed or failure books one outcome per op it carried, and
+	// Ops/Hits/Misses keep their per-operation meaning. 0 or 1 drives the
+	// unbatched per-op protocol.
+	Batch int
 	// Seed is the base seed; worker w uses Seed + w.
 	Seed uint64
 	// Retries is how many times a shed (503) or transport-failed request
@@ -100,6 +115,9 @@ func (c *Config) setDefaults() error {
 	}
 	if c.Workers < 0 || c.Ops < 0 {
 		return fmt.Errorf("loadgen: Workers=%d Ops=%d must be positive", c.Workers, c.Ops)
+	}
+	if c.Batch < 0 {
+		return fmt.Errorf("loadgen: Batch=%d must be >= 0", c.Batch)
 	}
 	if c.Retries == 0 {
 		c.Retries = 2
@@ -272,7 +290,22 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 			thists[tgt] = &telemetry.Histogram{}
 		}
 	}
-	client := &http.Client{Timeout: 10 * time.Second}
+	// The default transport keeps only 2 idle connections per host, so any
+	// run with more than 2 workers would churn a fresh TCP connection on
+	// nearly every request and measure connection setup instead of the
+	// server. Size the pool to the worker count — each worker has at most
+	// one request in flight — so every request after warmup reuses a
+	// kept-alive connection, and cap total connections per host at the same
+	// number so a retry storm cannot dial past the steady-state need.
+	tr := &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		MaxIdleConns:        cfg.Workers * 2,
+		MaxIdleConnsPerHost: cfg.Workers,
+		MaxConnsPerHost:     cfg.Workers,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	client := &http.Client{Transport: tr, Timeout: 10 * time.Second}
+	defer tr.CloseIdleConnections()
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -281,11 +314,28 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 			defer wg.Done()
 			stream := workload.NewServiceStream(cfg.Mix, cfg.Seed+uint64(w))
 			worker := newWorker(client, hist, thists, &cfg, cfg.Seed+uint64(w), w)
-			for i := 0; i < cfg.Ops; i++ {
-				if ctx.Err() != nil {
-					break
+			if cfg.Batch > 1 {
+				batch := make([]workload.Op, 0, cfg.Batch)
+				for i := 0; i < cfg.Ops; i++ {
+					if ctx.Err() != nil {
+						break
+					}
+					batch = append(batch, stream.Next())
+					if len(batch) == cfg.Batch {
+						worker.doBatch(ctx, batch)
+						batch = batch[:0]
+					}
 				}
-				worker.do(ctx, stream.Next())
+				if len(batch) > 0 && ctx.Err() == nil {
+					worker.doBatch(ctx, batch)
+				}
+			} else {
+				for i := 0; i < cfg.Ops; i++ {
+					if ctx.Err() != nil {
+						break
+					}
+					worker.do(ctx, stream.Next())
+				}
 			}
 			mu.Lock()
 			res.Ops += worker.ops
@@ -463,13 +513,7 @@ func (w *worker) do(ctx context.Context, op workload.Op) {
 // put PUTs a deterministic value of the given size, reporting the
 // outcome and whether admission was denied (204 + X-Cache: deny).
 func (w *worker) put(ctx context.Context, key string, size int) (outcome, bool) {
-	if size <= 0 {
-		size = 64
-	}
-	for size > len(w.buf) {
-		w.buf = append(w.buf, make([]byte, len(w.buf))...)
-	}
-	status, xcache, out := w.exchange(ctx, http.MethodPut, key, w.buf[:size])
+	status, xcache, out := w.exchange(ctx, http.MethodPut, key, w.val(size))
 	return out, out == outOK && status == http.StatusNoContent && xcache == "deny"
 }
 

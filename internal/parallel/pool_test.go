@@ -3,16 +3,24 @@ package parallel
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
 
 func TestJobsResolution(t *testing.T) {
-	if Jobs(4) != 4 {
-		t.Fatal("explicit jobs must pass through")
+	p := runtime.GOMAXPROCS(0)
+	if want := min(4, p); Jobs(4) != want {
+		t.Fatalf("Jobs(4) = %d on a %d-proc box, want %d", Jobs(4), p, want)
+	}
+	if Jobs(1) != 1 {
+		t.Fatal("explicit jobs within the core count must pass through")
 	}
 	if Jobs(0) < 1 || Jobs(-3) < 1 {
 		t.Fatal("jobs <= 0 must resolve to at least one worker")
+	}
+	if Jobs(p+100) != p {
+		t.Fatalf("Jobs(%d) = %d; CPU-bound tasks must clamp to GOMAXPROCS=%d", p+100, Jobs(p+100), p)
 	}
 }
 

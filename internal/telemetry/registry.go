@@ -92,6 +92,18 @@ func (h *Histogram) Observe(v uint64) {
 	h.buckets[bits.Len64(v)].Add(1)
 }
 
+// ObserveN records v n times in three atomic adds — the amortized form
+// batch paths use to book one per-op value for every operation of a
+// batch without paying n separate observations.
+func (h *Histogram) ObserveN(v uint64, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	h.count.Add(n)
+	h.sum.Add(v * n)
+	h.buckets[bits.Len64(v)].Add(n)
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
 	if h == nil {

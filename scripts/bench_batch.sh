@@ -1,0 +1,69 @@
+#!/bin/sh
+# Batch-size sweep for the serving layer: start pdpcached (PDP policy),
+# replay the same seeded zipf-loop mix with pdpload at a fixed worker
+# count while sweeping -batch through 1, 8, 32 and 128, and record
+# throughput, hit rate and per-op latency quantiles per batch size into
+# BENCH_batch.json. Batch 1 still pays one HTTP request per op (the
+# per-op wire protocol), so the sweep isolates the wire-batching win and
+# shows where amortized per-op p99 crosses over as batches grow.
+#
+# Usage: scripts/bench_batch.sh [ops-per-worker] [workers]
+set -eu
+
+ops="${1:-20000}"
+workers="${2:-16}"
+addr="127.0.0.1:7219"
+mix_args="-mix zipf-loop -keys 300 -zipf 0.8 -scan-every 200 -scan-len 400 -scan-loop 1600 -seed 42"
+
+cd "$(dirname "$0")/.."
+go build -o /tmp/pdp-batch-bench-cached ./cmd/pdpcached
+go build -o /tmp/pdp-batch-bench-load ./cmd/pdpload
+
+/tmp/pdp-batch-bench-cached -addr "$addr" -policy pdp \
+    -shards 4 -sets 16 -ways 8 -recompute-every 8192 \
+    -adapt-every 250ms 2>/dev/null &
+server_pid=$!
+trap 'kill "$server_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+    if curl -fs "http://$addr/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+curl -fs "http://$addr/healthz" >/dev/null || {
+    echo "FAIL: pdpcached did not come up on $addr" >&2
+    exit 1
+}
+
+field() { # field <json-file> <key>
+    sed -n "s/^.*\"$2\": *\([0-9.]*\).*$/\1/p" "$1" | head -1
+}
+
+json="{\n  \"mix\": \"zipf-loop keys=300 zipf=0.8 scan=200/400 loop=1600 seed=42\",\n  \"ops_per_worker\": $ops,\n  \"workers\": $workers,\n  \"runs\": {"
+first=1
+for batch in 1 8 32 128; do
+    out="/tmp/pdp-batch-bench-b$batch.json"
+    # shellcheck disable=SC2086
+    /tmp/pdp-batch-bench-load -url "http://$addr" $mix_args \
+        -workers "$workers" -ops "$ops" -batch "$batch" -json > "$out"
+    ops_n=$(field "$out" ops)
+    dur_ns=$(field "$out" duration_ns)
+    hits=$(field "$out" hits)
+    misses=$(field "$out" misses)
+    p50=$(field "$out" p50_latency_us)
+    p99=$(field "$out" p99_latency_us)
+    errors=$(field "$out" errors)
+    if [ "${errors:-0}" != "0" ]; then
+        echo "FAIL: batch=$batch run recorded $errors errors" >&2
+        exit 1
+    fi
+    set -- $(awk -v o="$ops_n" -v d="$dur_ns" -v h="$hits" -v m="$misses" \
+        -v p50="$p50" -v p99="$p99" \
+        'BEGIN { printf "%.0f %.4f %.1f %.1f", o / (d / 1e9), (h + m > 0) ? h / (h + m) : 0, p50, p99 }')
+    p50=$3; p99=$4
+    [ "$first" = 1 ] || json="$json,"
+    first=0
+    json="$json\n    \"batch_$batch\": {\"ops_per_s\": $1, \"hit_rate\": $2, \"p50_latency_us\": $p50, \"p99_latency_us\": $p99}"
+    echo "batch=$batch: $1 ops/s, hit rate $2, p50/p99 $p50/$p99 us"
+done
+json="$json\n  }\n}"
+printf "$json\n" > BENCH_batch.json
+echo "wrote BENCH_batch.json"

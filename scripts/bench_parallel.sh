@@ -34,9 +34,13 @@ for jobs in 1 2 8; do
         echo "FAIL: output at -jobs $jobs differs from -jobs 1" >&2
         exit 1
     fi
+    # Jobs clamps to GOMAXPROCS (CPU-bound tasks gain nothing from
+    # oversubscription), so record what actually ran, not just the flag.
+    eff=$(nproc)
+    [ "$jobs" -lt "$eff" ] && eff="$jobs"
     [ "$first" = 1 ] || json="$json,"
     first=0
-    json="$json\n    \"jobs_$jobs\": {\"seconds\": $secs}"
+    json="$json\n    \"jobs_$jobs\": {\"seconds\": $secs, \"effective_jobs\": $eff}"
 done
 json="$json\n  }\n}"
 printf "$json\n" > BENCH_parallel.json

@@ -2,10 +2,12 @@
 # Benchmark the serving layer: start pdpcached (PDP policy) on a local
 # port, replay the zipf-loop mix with pdpload at 1, 4 and 8 workers, and
 # record throughput, client-observed hit rate and client latency
-# quantiles (p50/p90/p99) per worker count into BENCH_serve.json. An LRU
-# run at 4 workers on the same seeded stream is recorded alongside as the
-# baseline. While the servers are up, /metrics is scraped and validated
-# with promlint, so a malformed exposition fails the benchmark.
+# quantiles (p50/p90/p99) per worker count into BENCH_serve.json. A
+# 16-worker pair — per-op wire protocol vs -batch 32 — measures the
+# batching win at the same offered load, and an LRU run at 4 workers on
+# the same seeded stream is recorded alongside as the baseline. While the
+# servers are up, /metrics is scraped and validated with promlint, so a
+# malformed exposition fails the benchmark.
 #
 # Usage: scripts/bench_serve.sh [ops-per-worker]
 set -eu
@@ -19,10 +21,10 @@ go build -o /tmp/pdp-serve-bench-cached ./cmd/pdpcached
 go build -o /tmp/pdp-serve-bench-load ./cmd/pdpload
 go build -o /tmp/pdp-serve-bench-promlint ./cmd/promlint
 
-run_load() {
+run_load() { # run_load <workers> [batch]
     # shellcheck disable=SC2086
     /tmp/pdp-serve-bench-load -url "http://$addr" $mix_args \
-        -workers "$1" -ops "$ops" -json
+        -workers "$1" -ops "$ops" -batch "${2:-0}" -json
 }
 
 start_server() {
@@ -90,8 +92,16 @@ for workers in 1 4 8; do
     run_load "$workers" > "$out"
     record "pdp_workers_$workers" "$out"
 done
+# The batching comparison: same mix, same seed, same 16 workers — only
+# the wire protocol changes (one request per op vs 32 ops per request).
+out="/tmp/pdp-serve-bench-w16.json"
+run_load 16 > "$out"
+record "pdp_workers_16" "$out"
+out="/tmp/pdp-serve-bench-w16-b32.json"
+run_load 16 32 > "$out"
+record "pdp_workers_16_batch32" "$out"
 check_metrics pdp
-for want in kv_pd kv_shard_evictions; do
+for want in kv_pd kv_shard_evictions http_batch_size; do
     if ! grep -q "$want" /tmp/pdp-serve-bench-pdp.prom; then
         echo "FAIL: pdp /metrics missing $want" >&2
         exit 1

@@ -110,6 +110,31 @@ if [ "$proxied" -eq 0 ]; then
 fi
 echo "proxied exchanges across the tier: $proxied"
 
+echo "== batched load across the healthy tier =="
+# The same multi-target drive over the batched wire protocol: each worker
+# ships 16-op POST /batch requests, and the receiving node owner-splits
+# them into per-peer sub-batches. The fan-out counter proves that path
+# actually engaged rather than every batch executing locally.
+/tmp/pdp-cluster-load -urls "$peers" -mix zipf-scan -keys 4000 \
+    -workers 4 -ops "$ops" -batch 16 -seed 44 -json > "$out"
+avail=$(field availability)
+echo "batched ops=$(field ops) errors=$(field errors) availability=$avail hit_rate=$(field hit_rate)"
+awk -v a="$avail" 'BEGIN { exit !(a >= 0.99) }' || {
+    echo "FAIL: batched availability $avail (want >= 0.99)" >&2
+    cat "$out" >&2
+    exit 1
+}
+fanout=0
+for u in "$u1" "$u2" "$u3"; do
+    f=$(curl -fs "$u/cluster/ring" | sed -n 's/^.*"batch_fanout": *\([0-9]*\).*$/\1/p' | head -1)
+    fanout=$((fanout + ${f:-0}))
+done
+if [ "$fanout" -eq 0 ]; then
+    echo "FAIL: no per-peer sub-batches; batch owner-split inert" >&2
+    exit 1
+fi
+echo "per-peer sub-batches across the tier: $fanout"
+
 echo "== kill node 3 (SIGKILL) and drive the survivors =="
 kill -9 "$pid3" 2>/dev/null || true
 /tmp/pdp-cluster-load -urls "$u1,$u2" -mix zipf-scan -keys 4000 \
